@@ -1,0 +1,216 @@
+// Package vrdag's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (Section IV) through the experiments harness.
+// Each benchmark runs the complete pipeline — replica generation, model
+// fitting, synthesis, metric computation — at a laptop-friendly scale, and
+// reports the headline numbers with b.ReportMetric so `go test -bench=.`
+// output doubles as an experiment log.
+//
+// The replica scale and VRDAG epochs can be raised via the VRDAG_SCALE and
+// VRDAG_EPOCHS environment variables to approach the paper's full sizes.
+package vrdag
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"vrdag/internal/datasets"
+	"vrdag/internal/experiments"
+)
+
+func benchOptions() experiments.Options {
+	o := experiments.Options{Scale: 0.02, Seed: 1, Epochs: 3}
+	if v := os.Getenv("VRDAG_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			o.Scale = f
+		}
+	}
+	if v := os.Getenv("VRDAG_EPOCHS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			o.Epochs = n
+		}
+	}
+	return o
+}
+
+// BenchmarkTable1 regenerates the structure-metric comparison (Table I)
+// for each dataset. The reported custom metrics are VRDAG's in-degree MMD
+// per dataset (the paper's headline fidelity numbers).
+func BenchmarkTable1(b *testing.B) {
+	for _, ds := range datasets.AllNames() {
+		ds := ds
+		b.Run(ds, func(b *testing.B) {
+			o := benchOptions()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Table1(ds, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if r.Method == "VRDAG" && r.Err == nil {
+						b.ReportMetric(r.Report.InDegMMD, "vrdag-indeg-mmd")
+						b.ReportMetric(r.Report.ClusMMD, "vrdag-clus-mmd")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates the Spearman-correlation MAE comparison.
+func BenchmarkTable2(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "VRDAG" && r.Dataset == datasets.Email {
+				b.ReportMetric(r.MAE, "vrdag-email-spearmae")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the attribute JSD/EMD comparison.
+func BenchmarkFigure3(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var jsdSum float64
+		var n int
+		for _, r := range rows {
+			if r.Method == "VRDAG" {
+				jsdSum += r.JSD
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(jsdSum/float64(n), "vrdag-mean-jsd")
+		}
+	}
+}
+
+// BenchmarkFigure4to6 regenerates the temporal structure-difference
+// series (degree, clustering coefficient, coreness).
+func BenchmarkFigure4to6(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figures4to6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7to8 regenerates the temporal attribute-difference series.
+func BenchmarkFigure7to8(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figures7to8(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the efficiency comparison and reports the
+// generation-speed ratio of the slowest walk baseline over VRDAG (the
+// paper reports up to 4 orders of magnitude at full scale).
+func BenchmarkFigure9(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := map[string]float64{}
+		for _, r := range rows {
+			if r.Err == nil {
+				gen[r.Method] += r.GenSec
+			}
+		}
+		if gen["VRDAG"] > 0 {
+			b.ReportMetric(gen["TagGen"]/gen["VRDAG"], "taggen/vrdag-gen-time")
+			b.ReportMetric(gen["TIGGER"]/gen["VRDAG"], "tigger/vrdag-gen-time")
+		}
+	}
+}
+
+// BenchmarkFigure9Sweep regenerates the time-vs-timesteps sweep (Bitcoin).
+func BenchmarkFigure9Sweep(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9Sweep(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3And4 regenerates the scalability study (training and
+// generation time against temporal edge count on GDELT-like workloads).
+func BenchmarkTable3And4(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Scalability(o, []int{1000, 4000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report VRDAG generation seconds at the largest workload.
+		var best float64
+		for _, r := range rows {
+			if r.Method == "VRDAG" {
+				best = r.GenSec
+			}
+		}
+		b.ReportMetric(best, "vrdag-gen-sec-at-max-M")
+	}
+}
+
+// BenchmarkFigure10 regenerates the downstream augmentation case study.
+func BenchmarkFigure10(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == datasets.Email {
+				b.ReportMetric(r.LinkF1, fmt.Sprintf("f1-%s", sanitize(r.Method)))
+			}
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablations on Email.
+func BenchmarkAblation(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Variant == "VRDAG (full)" {
+				b.ReportMetric(r.InDegMMD, "full-indeg-mmd")
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,103 @@
+// Command vrdag-metrics computes the paper's evaluation metrics for a
+// synthetic sequence against an original, both in vrdag-graph format.
+//
+//	vrdag-metrics -orig observed.vg -synth generated.vg
+//
+// With only -orig, it prints per-snapshot summary statistics instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/metrics"
+	"vrdag/internal/textplot"
+)
+
+func main() {
+	var (
+		origPath  = flag.String("orig", "", "original sequence (vrdag-graph format, required)")
+		synthPath = flag.String("synth", "", "synthetic sequence to compare (optional)")
+	)
+	flag.Parse()
+	if *origPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	orig := load(*origPath)
+
+	if *synthPath == "" {
+		describe(orig)
+		return
+	}
+	synth := load(*synthPath)
+
+	rep := metrics.CompareStructure(orig, synth)
+	fmt.Printf("structure metrics (lower is better):\n")
+	fmt.Printf("  in-degree MMD      %.4f\n", rep.InDegMMD)
+	fmt.Printf("  out-degree MMD     %.4f\n", rep.OutDegMMD)
+	fmt.Printf("  clustering MMD     %.4f\n", rep.ClusMMD)
+	fmt.Printf("  in-PLE error       %.4f\n", rep.InPLE)
+	fmt.Printf("  out-PLE error      %.4f\n", rep.OutPLE)
+	fmt.Printf("  wedge-count error  %.4f\n", rep.Wedge)
+	fmt.Printf("  #components error  %.4f\n", rep.NC)
+	fmt.Printf("  LCC error          %.4f\n", rep.LCC)
+
+	if orig.F > 0 && synth.F == orig.F {
+		fmt.Printf("attribute metrics:\n")
+		fmt.Printf("  JSD                %.4f\n", metrics.AttrJSD(orig, synth, 32))
+		fmt.Printf("  EMD                %.4f\n", metrics.AttrEMD(orig, synth))
+		fmt.Printf("  Spearman MAE       %.4f\n",
+			metrics.SpearmanMAE(metrics.AttributeRows(orig), metrics.AttributeRows(synth)))
+	}
+
+	fmt.Printf("dynamic difference (mean |series gap| vs original):\n")
+	fmt.Printf("  degree             %.4f\n", seriesGap(orig, synth, metrics.TotalDegrees))
+	fmt.Printf("  clustering         %.4f\n", seriesGap(orig, synth, metrics.ClusteringCoefficients))
+	fmt.Printf("  coreness           %.4f\n", seriesGap(orig, synth, metrics.Coreness))
+
+	fmt.Printf("degree difference series (shared scale):\n")
+	fmt.Print(textplot.Chart([]textplot.Series{
+		{Name: "  original", Values: metrics.DifferenceSeries(orig, metrics.TotalDegrees)},
+		{Name: "  synthetic", Values: metrics.DifferenceSeries(synth, metrics.TotalDegrees)},
+	}))
+}
+
+func seriesGap(orig, synth *dyngraph.Sequence, prop func(*dyngraph.Snapshot) []float64) float64 {
+	return metrics.SeriesMAE(
+		metrics.DifferenceSeries(orig, prop),
+		metrics.DifferenceSeries(synth, prop))
+}
+
+func describe(g *dyngraph.Sequence) {
+	fmt.Printf("N=%d F=%d T=%d M=%d\n", g.N, g.F, g.T(), g.TotalTemporalEdges())
+	last := g.At(g.T() - 1)
+	fmt.Printf("final-snapshot degree histogram: %s\n", textplot.Histogram(metrics.TotalDegrees(last), 24))
+	if g.F > 0 {
+		for j, col := range metrics.AttributeSamples(g) {
+			fmt.Printf("attribute %d histogram:          %s\n", j, textplot.Histogram(col, 24))
+		}
+	}
+	fmt.Printf("%4s %8s %10s %10s %8s %8s\n", "t", "edges", "wedges", "clustering", "#comp", "LCC")
+	for t, s := range g.Snapshots {
+		fmt.Printf("%4d %8d %10.0f %10.4f %8.0f %8.0f\n",
+			t, s.NumEdges(), metrics.WedgeCount(s), metrics.GlobalClustering(s),
+			metrics.NumComponents(s), metrics.LargestComponent(s))
+	}
+}
+
+func load(path string) *dyngraph.Sequence {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("vrdag-metrics: %v", err)
+	}
+	defer f.Close()
+	g, err := dyngraph.Load(f)
+	if err != nil {
+		log.Fatalf("vrdag-metrics: %s: %v", path, err)
+	}
+	return g
+}

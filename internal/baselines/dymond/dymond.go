@@ -1,0 +1,211 @@
+// Package dymond reimplements the algorithmic skeleton of Dymond (Zeno et
+// al., WWW 2021): a motif-based dynamic graph model that estimates
+// time-independent arrival rates for edge, wedge and triangle motifs from
+// the observed sequence and replays motif arrivals to synthesise new
+// snapshots.
+//
+// Faithful to the original's main practical limitation, Fit materialises
+// the observed motif instances (the paper notes Dymond "requires the
+// storage of millions of motif structures across time" and could only be
+// executed on the smallest dataset); MaxMotifs guards against exhausting
+// memory and makes Fit fail on large inputs just like the original.
+package dymond
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"vrdag/internal/dyngraph"
+)
+
+// Config tunes motif extraction.
+type Config struct {
+	MaxMotifs int // Fit fails beyond this many stored instances (default 2M)
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxMotifs == 0 {
+		c.MaxMotifs = 2_000_000
+	}
+	return c
+}
+
+type triangle struct{ a, b, c int }
+type wedge struct{ center, a, b int }
+
+// Gen implements baselines.Generator.
+type Gen struct {
+	cfg Config
+	rng *rand.Rand
+
+	n, t       int
+	edgeRate   float64 // mean non-motif edges per step
+	wedgeRate  float64 // mean wedge arrivals per step
+	triRate    float64 // mean triangle arrivals per step
+	nodeWeight []float64
+	cumWeight  []float64
+	triangles  []triangle // stored instances (memory-heavy by design)
+	wedges     []wedge
+}
+
+// New creates an unfitted Dymond baseline.
+func New(cfg Config) *Gen {
+	cfg = cfg.withDefaults()
+	return &Gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements baselines.Generator.
+func (g *Gen) Name() string { return "Dymond" }
+
+// Fit enumerates motifs per snapshot and estimates arrival rates.
+func (g *Gen) Fit(seq *dyngraph.Sequence) error {
+	g.n, g.t = seq.N, seq.T()
+	if g.t == 0 {
+		return fmt.Errorf("dymond: empty sequence")
+	}
+	g.nodeWeight = make([]float64, seq.N)
+	var edges, wedgesN, tris float64
+	for _, s := range seq.Snapshots {
+		nbrs := make([][]int, s.N)
+		for v := 0; v < s.N; v++ {
+			nbrs[v] = s.UndirectedNeighbors(v)
+			g.nodeWeight[v] += float64(len(nbrs[v]))
+		}
+		has := func(list []int, x int) bool {
+			i := sort.SearchInts(list, x)
+			return i < len(list) && list[i] == x
+		}
+		for v := 0; v < s.N; v++ {
+			k := len(nbrs[v])
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					a, b := nbrs[v][i], nbrs[v][j]
+					if has(nbrs[a], b) {
+						if v < a && a < b { // count each triangle once
+							tris++
+							g.triangles = append(g.triangles, triangle{v, a, b})
+						}
+					} else {
+						wedgesN++
+						g.wedges = append(g.wedges, wedge{v, a, b})
+					}
+					if len(g.triangles)+len(g.wedges) > g.cfg.MaxMotifs {
+						return fmt.Errorf("dymond: motif store exceeded %d instances; "+
+							"the motif-based model does not scale to this input (see paper §IV-B)",
+							g.cfg.MaxMotifs)
+					}
+				}
+			}
+		}
+		edges += float64(s.NumEdges())
+	}
+	tt := float64(g.t)
+	g.edgeRate = edges / tt
+	g.wedgeRate = wedgesN / tt / 4 // wedges are abundant; damp replays
+	g.triRate = tris / tt
+	g.cumWeight = make([]float64, seq.N+1)
+	for v := 0; v < seq.N; v++ {
+		g.cumWeight[v+1] = g.cumWeight[v] + g.nodeWeight[v] + 1
+	}
+	return nil
+}
+
+func (g *Gen) sampleNode() int {
+	total := g.cumWeight[g.n]
+	u := g.rng.Float64() * total
+	i := sort.SearchFloat64s(g.cumWeight[1:], u)
+	if i >= g.n {
+		i = g.n - 1
+	}
+	return i
+}
+
+func (g *Gen) addDirected(s *dyngraph.Snapshot, a, b int) {
+	if g.rng.Float64() < 0.5 {
+		s.AddEdge(a, b)
+	} else {
+		s.AddEdge(b, a)
+	}
+}
+
+// Generate replays motif arrivals with exponential-clock semantics
+// (Poisson counts per step at the fitted rates).
+func (g *Gen) Generate(t int) (*dyngraph.Sequence, error) {
+	if g.cumWeight == nil {
+		return nil, fmt.Errorf("dymond: Generate before Fit")
+	}
+	if t <= 0 {
+		return nil, fmt.Errorf("dymond: T must be positive, got %d", t)
+	}
+	out := dyngraph.NewSequence(g.n, 0, t)
+	for tt := 0; tt < t; tt++ {
+		s := out.At(tt)
+		// Triangle arrivals: replay stored instances (preferred) or sample
+		// fresh node triples by weight.
+		nTri := poisson(g.triRate, g.rng)
+		for i := 0; i < nTri; i++ {
+			var a, b, c int
+			if len(g.triangles) > 0 && g.rng.Float64() < 0.7 {
+				tr := g.triangles[g.rng.Intn(len(g.triangles))]
+				a, b, c = tr.a, tr.b, tr.c
+			} else {
+				a, b, c = g.sampleNode(), g.sampleNode(), g.sampleNode()
+			}
+			if a == b || b == c || a == c {
+				continue
+			}
+			g.addDirected(s, a, b)
+			g.addDirected(s, b, c)
+			g.addDirected(s, a, c)
+		}
+		nWedge := poisson(g.wedgeRate, g.rng)
+		for i := 0; i < nWedge; i++ {
+			var ctr, a, b int
+			if len(g.wedges) > 0 && g.rng.Float64() < 0.7 {
+				w := g.wedges[g.rng.Intn(len(g.wedges))]
+				ctr, a, b = w.center, w.a, w.b
+			} else {
+				ctr, a, b = g.sampleNode(), g.sampleNode(), g.sampleNode()
+			}
+			if ctr == a || ctr == b || a == b {
+				continue
+			}
+			g.addDirected(s, ctr, a)
+			g.addDirected(s, ctr, b)
+		}
+		// Residual single-edge arrivals to reach the fitted density.
+		for float64(s.NumEdges()) < g.edgeRate {
+			a, b := g.sampleNode(), g.sampleNode()
+			if a == b {
+				continue
+			}
+			g.addDirected(s, a, b)
+		}
+	}
+	return out, nil
+}
+
+func poisson(lambda float64, rng *rand.Rand) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := int(lambda + rng.NormFloat64()*math.Sqrt(lambda) + 0.5)
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

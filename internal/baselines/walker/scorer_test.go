@@ -1,0 +1,70 @@
+package walker
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNeuralScorerDeterministic(t *testing.T) {
+	a := NewNeuralScorer(8, 16, 2, 7)
+	b := NewNeuralScorer(8, 16, 2, 7)
+	for _, e := range [][3]int{{0, 1, 0}, {5, 2, 3}, {100, 7, 9}} {
+		if a.ScoreEdge(e[0], e[1], e[2]) != b.ScoreEdge(e[0], e[1], e[2]) {
+			t.Fatal("same seed must give identical scores")
+		}
+	}
+	c := NewNeuralScorer(8, 16, 2, 8)
+	if a.ScoreEdge(0, 1, 0) == c.ScoreEdge(0, 1, 0) {
+		t.Fatal("different seeds should almost surely differ")
+	}
+}
+
+func TestNeuralScorerFinite(t *testing.T) {
+	s := NewNeuralScorer(16, 64, 4, 1)
+	for u := 0; u < 50; u++ {
+		v := s.ScoreEdge(u*997, u*13, u)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite score at %d: %v", u, v)
+		}
+	}
+}
+
+func TestNeuralScorerDiscriminates(t *testing.T) {
+	// Different edges should generally score differently (the scorer's
+	// output feeds real accept/reject decisions).
+	s := NewNeuralScorer(16, 32, 1, 2)
+	seen := map[float64]bool{}
+	for u := 0; u < 20; u++ {
+		seen[s.ScoreEdge(u, u+1, 0)] = true
+	}
+	if len(seen) < 15 {
+		t.Fatalf("scorer nearly constant: %d distinct values of 20", len(seen))
+	}
+}
+
+func TestScoreWalkAveragesEdges(t *testing.T) {
+	s := NewNeuralScorer(8, 16, 1, 3)
+	if s.ScoreWalk(nil) != 0 {
+		t.Fatal("empty walk must score 0")
+	}
+	e := TemporalEdge{U: 1, V: 2, T: 3}
+	single := s.ScoreWalk([]TemporalEdge{e})
+	double := s.ScoreWalk([]TemporalEdge{e, e})
+	if math.Abs(single-double) > 1e-12 {
+		t.Fatal("repeated edge must not change the mean score")
+	}
+}
+
+func TestVocabProjectBounds(t *testing.T) {
+	s := NewNeuralScorer(8, 16, 1, 4)
+	s.ScoreEdge(1, 2, 3) // populate buffers
+	for _, n := range []int{1, 7, 100} {
+		got := s.VocabProject(n)
+		if got < 0 || got >= n {
+			t.Fatalf("VocabProject(%d) = %d out of range", n, got)
+		}
+	}
+	if s.VocabProject(0) != 0 {
+		t.Fatal("n=0 must return 0")
+	}
+}

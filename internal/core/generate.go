@@ -1,0 +1,675 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/tensor"
+)
+
+// GenOptions controls inference (Algorithm 1).
+type GenOptions struct {
+	T    int   // number of snapshots to generate (required)
+	Seed int64 // RNG seed for this generation run
+
+	// DynamicNodes enables the node addition/deletion extension of
+	// Section III-H: nodes isolated for Tdel consecutive steps leave the
+	// active set; new nodes join at the empirical activation rate with
+	// hidden states drawn around the mean graph state.
+	DynamicNodes bool
+	Tdel         int // isolation threshold (default 3)
+
+	// Parallel enables multi-goroutine decoding (default true via
+	// Generate; set explicitly in GenerateOpts).
+	Parallel bool
+}
+
+// Generate synthesises a dynamic attributed graph with T snapshots using
+// the trained prior and decoder (Algorithm 1 of the paper).
+func (m *Model) Generate(t int) (*dyngraph.Sequence, error) {
+	return m.GenerateOpts(GenOptions{T: t, Seed: m.Cfg.Seed + 1, Parallel: true})
+}
+
+// GenerateOpts synthesises a sequence with explicit options.
+func (m *Model) GenerateOpts(opts GenOptions) (*dyngraph.Sequence, error) {
+	if opts.T <= 0 {
+		return nil, fmt.Errorf("core: GenOptions.T must be positive, got %d", opts.T)
+	}
+	if opts.Tdel == 0 {
+		opts.Tdel = 3
+	}
+	n := m.Cfg.N
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := dyngraph.NewSequence(n, m.Cfg.F, opts.T)
+
+	h := tensor.New(n, m.Cfg.HiddenDim) // H_0 = 0 (Algorithm 1, line 1)
+	active := make([]bool, n)
+	isolated := make([]int, n)
+	for i := range active {
+		active[i] = true
+	}
+	degree := make([]float64, n) // running degree for candidate weighting
+	var prevX *tensor.Matrix     // standardized attribute state (AR matching)
+
+	var prev *dyngraph.Snapshot
+	for t := 0; t < opts.T; t++ {
+		// Line 3: sample temporal latent variables from the prior.
+		mu, logSig := m.priorValue(h)
+		z := sampleLatent(mu, logSig, rng)
+		s := concatValue(z, h) // S_t = [Z_t ‖ H_{t-1}]
+
+		// Line 4: decode the adjacency via the MixBernoulli sampler.
+		snap := dyngraph.NewSnapshot(n, m.Cfg.F)
+		m.decodeStructure(snap, s, prev, degree, active, t, rng, opts.Parallel)
+
+		// Line 5: decode attributes conditioned on the new topology. The
+		// decoded matrix is the likelihood mean; sampling adds the
+		// observation noise estimated from training residuals, then the
+		// moments and lag-1 autocorrelation are matched to the training
+		// statistics.
+		if m.Cfg.F > 0 {
+			esrc, edst := snap.EdgeLists()
+			dec := m.gat.Forward(s, esrc, edst, n)
+			x := m.attrMLP.Forward(dec)
+			prevX = m.composeAttrs(x, prevX, rng)
+			snap.X = x
+		}
+
+		// Line 7: update hidden states with the recurrence updater.
+		eps := m.enc.EncodeValue(snap)
+		gin := m.gruInputValue(eps, z, t, n)
+		h = m.gru.Forward(gin, h)
+
+		// Bookkeeping for candidate weighting and the dynamic-node
+		// extension.
+		for v := 0; v < n; v++ {
+			d := snap.OutDegree(v) + snap.InDegree(v)
+			degree[v] = 0.8*degree[v] + float64(d)
+			if opts.DynamicNodes {
+				if d == 0 {
+					isolated[v]++
+				} else {
+					isolated[v] = 0
+				}
+			}
+		}
+		if opts.DynamicNodes {
+			m.updateActiveSet(active, isolated, h, t, opts.Tdel, rng)
+		}
+
+		g.Snapshots[t] = snap
+		prev = snap
+	}
+	return g, nil
+}
+
+// gruInputValue assembles [ε ‖ z ‖ fT(t)] without the tape.
+func (m *Model) gruInputValue(eps, z *tensor.Matrix, t, n int) *tensor.Matrix {
+	if !m.Cfg.UseTime2Vec {
+		return concatValue(eps, z)
+	}
+	ft := m.t2v.EncodeValue(float64(t))
+	ftN := tensor.New(n, m.Cfg.TimeDim)
+	for i := 0; i < n; i++ {
+		copy(ftN.Row(i), ft.Data)
+	}
+	return concatValue(eps, z, ftN)
+}
+
+// decodeStructure implements the one-shot MixBernoulli decoding (Eq. 11).
+// For every active node it scores a candidate destination set, aggregates
+// the mixture weights α_i, then samples edges from the selected component.
+// With DegreeCalibration the Bernoulli means are rescaled so the expected
+// edge count matches the training statistics for this timestep.
+func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
+	prev *dyngraph.Snapshot, degree []float64, active []bool, t int,
+	rng *rand.Rand, parallel bool) {
+
+	n := m.Cfg.N
+	// Temporal persistence calibration: replay previous-step edges at the
+	// training data's persistence rate before one-shot sampling fills the
+	// remaining budget. Like the density calibration, this matches a
+	// first-order statistic the short CPU schedule cannot learn; a
+	// converged model's MixBernoulli would regenerate persistent edges
+	// itself (their pair scores stay high across steps).
+	persisted := 0.0
+	if m.Cfg.DegreeCalibration && m.persistRate > 0 && prev != nil {
+		for u := 0; u < n; u++ {
+			if !active[u] {
+				continue
+			}
+			for _, v := range prev.Out[u] {
+				if rng.Float64() < m.persistRate && snap.AddEdge(u, v) {
+					persisted++
+				}
+			}
+		}
+	}
+
+	type nodeScores struct {
+		cands []int
+		theta *tensor.Matrix // C×K Bernoulli means per component
+		alpha []float64      // K mixture weights
+	}
+	scores := make([]nodeScores, n)
+
+	// Candidate weights: degree-proportional with +1 smoothing.
+	cum := make([]float64, n+1)
+	for v := 0; v < n; v++ {
+		w := degree[v] + 1
+		if !active[v] {
+			w = 0
+		}
+		cum[v+1] = cum[v] + w
+	}
+	totalW := cum[n]
+
+	// Pre-draw per-node RNG seeds so the parallel path stays deterministic.
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	work := func(i int) {
+		if !active[i] {
+			return
+		}
+		nrng := rand.New(rand.NewSource(seeds[i]))
+		cands := m.candidates(i, prev, cum, totalW, nrng)
+		if len(cands) == 0 {
+			return
+		}
+		// diffs[j] = s_i - s_cands[j]
+		ds := s.Cols
+		diff := tensor.New(len(cands), ds)
+		srow := s.Row(i)
+		for k, j := range cands {
+			drow := diff.Row(k)
+			jrow := s.Row(j)
+			for c := 0; c < ds; c++ {
+				drow[c] = srow[c] - jrow[c]
+			}
+		}
+		thetaLogits := m.fTheta.Forward(diff) // C×K
+		theta := thetaLogits.Apply(tensor.Sigmoid)
+		aOut := m.fAlpha.Forward(diff) // C×K
+		aSum := make([]float64, m.Cfg.K)
+		for k := 0; k < len(cands); k++ {
+			row := aOut.Row(k)
+			for c := 0; c < m.Cfg.K; c++ {
+				aSum[c] += row[c]
+			}
+		}
+		alpha := make([]float64, m.Cfg.K)
+		tensor.SoftmaxSlice(alpha, aSum)
+		scores[i] = nodeScores{cands: cands, theta: theta, alpha: alpha}
+	}
+
+	if parallel {
+		var wg sync.WaitGroup
+		workers := runtime.GOMAXPROCS(0)
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					work(i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+	}
+
+	// Choose mixture components and collect Bernoulli means.
+	comp := make([]int, n)
+	expected := 0.0
+	for i := 0; i < n; i++ {
+		sc := &scores[i]
+		if sc.theta == nil {
+			continue
+		}
+		comp[i] = sampleCategorical(sc.alpha, rng)
+		for k := range sc.cands {
+			expected += sc.theta.At(k, comp[i])
+		}
+	}
+
+	// Density calibration against the training statistics (persisted
+	// edges consume part of the budget).
+	lambda := 1.0
+	if m.Cfg.DegreeCalibration && expected > 0 {
+		target := m.edgeTarget(t) - persisted
+		if target < 0 {
+			target = 0
+		}
+		lambda = target / expected
+	}
+
+	// Bernoulli sampling (serial for determinism).
+	for i := 0; i < n; i++ {
+		sc := &scores[i]
+		if sc.theta == nil {
+			continue
+		}
+		k := comp[i]
+		for c, j := range sc.cands {
+			p := sc.theta.At(c, k) * lambda
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() < p {
+				snap.AddEdge(i, j)
+			}
+		}
+	}
+}
+
+// composeAttrs turns decoded likelihood means into attribute samples with
+// the training sequence's marginal moments, cross-dimension correlation,
+// and lag-1 autocorrelation, via a small state-space model:
+//
+//	mix_t = √R²·d̃_t + √(1−R²)·ξ_t          (decoder signal + obs. noise)
+//	s_t   = ρ·s_{t−1} + √(1−ρ²)·mix_t       (AR(1) latent state)
+//	y_t   = T·s_t,  T = L_x·L_s⁻¹           (output correlation correction)
+//	x_t   = µ + σ⊙y_t                       (marginal moments)
+//
+// d̃ is the decoder output standardized per dimension (its learned
+// cross-node ordering survives with weight √R², the decoder's explanatory
+// power from the final training epoch); ξ is i.i.d. observation noise; ρ
+// is the per-dimension lag-1 autocorrelation of the training data. The
+// output map T is recomputed each step from the state's empirical
+// correlation L_s·L_sᵀ, so the generated attributes carry the data's
+// correlation matrix exactly even when the generation-time decoder output
+// is distribution-shifted. A converged decoder (R²→1) passes through up
+// to an affine map; an undertrained one degrades gracefully toward the
+// data's own attribute process. Disabled with DegreeCalibration=false.
+//
+// It writes the finished attributes into x and returns the updated latent
+// state for the next step.
+func (m *Model) composeAttrs(x *tensor.Matrix, prevS *tensor.Matrix, rng *rand.Rand) *tensor.Matrix {
+	if !m.Cfg.DegreeCalibration || m.attrMean == nil {
+		return prevS
+	}
+	n, f := x.Rows, x.Cols
+	// Standardize the decoded means per dimension (d̃).
+	for j := 0; j < f && j < len(m.attrMean); j++ {
+		mean, sd := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			mean += x.At(i, j)
+		}
+		mean /= float64(n)
+		for i := 0; i < n; i++ {
+			d := x.At(i, j) - mean
+			sd += d * d
+		}
+		sd = math.Sqrt(sd/float64(n)) + 1e-9
+		for i := 0; i < n; i++ {
+			x.Set(i, j, (x.At(i, j)-mean)/sd)
+		}
+	}
+	// mix and AR state update.
+	state := tensor.New(n, f)
+	for j := 0; j < f; j++ {
+		r2 := 0.0
+		if m.attrR2 != nil && j < len(m.attrR2) {
+			r2 = m.attrR2[j]
+		}
+		w, nw := math.Sqrt(r2), math.Sqrt(1-r2)
+		rho := 0.0
+		if m.attrRho != nil && j < len(m.attrRho) {
+			rho = m.attrRho[j]
+		}
+		if rho < 0 {
+			rho = 0
+		}
+		if rho > 0.995 {
+			rho = 0.995
+		}
+		ar := math.Sqrt(1 - rho*rho)
+		for i := 0; i < n; i++ {
+			mix := w*x.At(i, j) + nw*rng.NormFloat64()
+			if prevS == nil {
+				state.Set(i, j, mix)
+			} else {
+				state.Set(i, j, rho*prevS.At(i, j)+ar*mix)
+			}
+		}
+	}
+	// Re-standardize the state per dimension: decoder↔state feedback can
+	// drift its variance across steps, and the copula map below needs
+	// standard-normal coordinates.
+	for j := 0; j < f; j++ {
+		mean, sd := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			mean += state.At(i, j)
+		}
+		mean /= float64(n)
+		for i := 0; i < n; i++ {
+			d := state.At(i, j) - mean
+			sd += d * d
+		}
+		sd = math.Sqrt(sd/float64(n)) + 1e-9
+		for i := 0; i < n; i++ {
+			state.Set(i, j, (state.At(i, j)-mean)/sd)
+		}
+	}
+	// Output correlation correction y = s·Tᵀ with T = L_x·L_s⁻¹.
+	tMat := m.outputTransform(state)
+	row := make([]float64, f)
+	for i := 0; i < n; i++ {
+		srow := state.Row(i)
+		for a := 0; a < f; a++ {
+			acc := 0.0
+			for b := 0; b < f; b++ {
+				acc += tMat[a*f+b] * srow[b]
+			}
+			row[a] = acc
+		}
+		xrow := x.Row(i)
+		for j := 0; j < f; j++ {
+			xrow[j] = m.marginalMap(j, row[j])
+		}
+	}
+	return state
+}
+
+// marginalMap sends a standard-normal output coordinate through the
+// Gaussian copula onto the training data's empirical marginal: u = Φ(y),
+// x = F̂⁻¹(u). Monotone, so rank (Spearman) structure is untouched; exact,
+// so synthetic marginals match the data whatever its shape. Falls back to
+// the linear moment map when no quantile grid is available.
+func (m *Model) marginalMap(j int, y float64) float64 {
+	if m.attrQuantiles == nil || j >= len(m.attrQuantiles) || len(m.attrQuantiles[j]) == 0 {
+		return m.attrMean[j] + m.attrStd[j]*y
+	}
+	u := 0.5 * (1 + math.Erf(y/math.Sqrt2))
+	q := m.attrQuantiles[j]
+	pos := u * float64(len(q)-1)
+	lo := int(pos)
+	if lo >= len(q)-1 {
+		return q[len(q)-1]
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	frac := pos - float64(lo)
+	return q[lo]*(1-frac) + q[lo+1]*frac
+}
+
+// outputTransform returns T = L_x·L_s⁻¹ where L_x is the Cholesky factor
+// of the training attribute correlation and L_s that of the state's
+// per-step empirical correlation (identity fallback for degenerate cases).
+func (m *Model) outputTransform(state *tensor.Matrix) []float64 {
+	n, f := state.Rows, state.Cols
+	ident := make([]float64, f*f)
+	for i := 0; i < f; i++ {
+		ident[i*f+i] = 1
+	}
+	if m.attrCorrChol == nil || f == 1 || n < 4 {
+		return ident
+	}
+	// Empirical state correlation (state dims have ≈unit variance by
+	// construction, but normalise anyway for robustness).
+	mean := make([]float64, f)
+	for i := 0; i < n; i++ {
+		row := state.Row(i)
+		for j := 0; j < f; j++ {
+			mean[j] += row[j]
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	cov := make([]float64, f*f)
+	for i := 0; i < n; i++ {
+		row := state.Row(i)
+		for a := 0; a < f; a++ {
+			for b := 0; b < f; b++ {
+				cov[a*f+b] += (row[a] - mean[a]) * (row[b] - mean[b])
+			}
+		}
+	}
+	sd := make([]float64, f)
+	for j := 0; j < f; j++ {
+		sd[j] = math.Sqrt(cov[j*f+j]/float64(n)) + 1e-12
+	}
+	corr := make([]float64, f*f)
+	for a := 0; a < f; a++ {
+		for b := 0; b < f; b++ {
+			corr[a*f+b] = cov[a*f+b] / float64(n) / (sd[a] * sd[b])
+		}
+	}
+	ls := cholesky(tensor.NearestCorrelation(corr, f), f)
+	lsInv := invertLowerTriangular(ls, f)
+	if lsInv == nil {
+		return ident
+	}
+	// T = L_x · L_s⁻¹
+	t := make([]float64, f*f)
+	for a := 0; a < f; a++ {
+		for b := 0; b < f; b++ {
+			acc := 0.0
+			for k := 0; k < f; k++ {
+				acc += m.attrCorrChol[a*f+k] * lsInv[k*f+b]
+			}
+			t[a*f+b] = acc
+		}
+	}
+	return t
+}
+
+// invertLowerTriangular inverts a lower-triangular matrix by forward
+// substitution; returns nil when a diagonal entry is (near) zero.
+func invertLowerTriangular(l []float64, f int) []float64 {
+	inv := make([]float64, f*f)
+	for c := 0; c < f; c++ {
+		if math.Abs(l[c*f+c]) < 1e-12 {
+			return nil
+		}
+		inv[c*f+c] = 1 / l[c*f+c]
+		for r := c + 1; r < f; r++ {
+			acc := 0.0
+			for k := c; k < r; k++ {
+				acc += l[r*f+k] * inv[k*f+c]
+			}
+			inv[r*f+c] = -acc / l[r*f+r]
+		}
+	}
+	return inv
+}
+
+// edgeTarget returns the expected edge count for step t, falling back to
+// the mean across training steps (or a mild default for untrained models).
+func (m *Model) edgeTarget(t int) float64 {
+	if len(m.edgeTargets) == 0 {
+		return float64(2 * m.Cfg.N)
+	}
+	if t < len(m.edgeTargets) {
+		return m.edgeTargets[t]
+	}
+	sum := 0.0
+	for _, v := range m.edgeTargets {
+		sum += v
+	}
+	return sum / float64(len(m.edgeTargets))
+}
+
+// candidates builds the destination candidate set for node i: the node's
+// previous out-neighbours (temporal persistence) filled up to CandidateCap
+// with degree-proportional random draws. CandidateCap == 0 scores every
+// other node (exact Eq. 11 decoding).
+func (m *Model) candidates(i int, prev *dyngraph.Snapshot, cum []float64, totalW float64, rng *rand.Rand) []int {
+	n := m.Cfg.N
+	limit := m.Cfg.CandidateCap
+	if limit <= 0 || limit >= n-1 {
+		out := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	seen := make(map[int]struct{}, limit*2)
+	out := make([]int, 0, limit)
+	add := func(j int) {
+		if j == i {
+			return
+		}
+		if _, ok := seen[j]; ok {
+			return
+		}
+		seen[j] = struct{}{}
+		out = append(out, j)
+	}
+	if prev != nil {
+		for _, j := range prev.Out[i] {
+			add(j)
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	if totalW <= 0 {
+		for len(out) < limit {
+			add(rng.Intn(n))
+		}
+		return out
+	}
+	for attempts := 0; len(out) < limit && attempts < limit*4; attempts++ {
+		u := rng.Float64() * totalW
+		j := sort.SearchFloat64s(cum[1:], u)
+		if j >= n {
+			j = n - 1
+		}
+		add(j)
+	}
+	return out
+}
+
+// updateActiveSet applies the Section III-H extension: deletion after Tdel
+// isolated steps, additions at the empirical activation rate with hidden
+// states sampled around the mean graph state h̄.
+func (m *Model) updateActiveSet(active []bool, isolated []int, h *tensor.Matrix, t, tdel int, rng *rand.Rand) {
+	n := m.Cfg.N
+	for v := 0; v < n; v++ {
+		if active[v] && isolated[v] >= tdel {
+			active[v] = false
+			row := h.Row(v)
+			for j := range row {
+				row[j] = 0 // frozen: the node leaves the generative process
+			}
+		}
+	}
+	// Mean hidden state over active nodes.
+	mean := make([]float64, h.Cols)
+	cnt := 0
+	for v := 0; v < n; v++ {
+		if !active[v] {
+			continue
+		}
+		row := h.Row(v)
+		for j := range mean {
+			mean[j] += row[j]
+		}
+		cnt++
+	}
+	if cnt > 0 {
+		for j := range mean {
+			mean[j] /= float64(cnt)
+		}
+	}
+	// Expected additions: empirical activation rate for this step.
+	rate := 0.0
+	if t < len(m.activeStats) {
+		rate = m.activeStats[t]
+	}
+	nAdd := poisson(rate, rng)
+	for a := 0; a < nAdd; a++ {
+		// Reactivate a random inactive node with state ~ N(h̄, 0.1²).
+		v := rng.Intn(n)
+		tries := 0
+		for active[v] && tries < n {
+			v = (v + 1) % n
+			tries++
+		}
+		if active[v] {
+			break // no inactive nodes left
+		}
+		active[v] = true
+		isolated[v] = 0
+		row := h.Row(v)
+		for j := range row {
+			row[j] = mean[j] + 0.1*rng.NormFloat64()
+		}
+	}
+}
+
+func poisson(lambda float64, rng *rand.Rand) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		// Normal approximation for large rates.
+		v := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func sampleCategorical(w []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, v := range w {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+func concatValue(parts ...*tensor.Matrix) *tensor.Matrix {
+	rows := parts[0].Rows
+	total := 0
+	for _, p := range parts {
+		total += p.Cols
+	}
+	out := tensor.New(rows, total)
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < rows; i++ {
+			copy(out.Row(i)[off:off+p.Cols], p.Row(i))
+		}
+		off += p.Cols
+	}
+	return out
+}

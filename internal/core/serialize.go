@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"vrdag/internal/nn"
+)
+
+// modelState is the serialised form of a trained model: the configuration,
+// every named parameter tensor, and the calibration statistics captured
+// from the training sequence.
+type modelState struct {
+	Cfg     Config
+	Params  map[string]savedMatrix
+	Trained bool
+
+	EdgeTargets   []float64
+	ActiveStats   []float64
+	PersistRate   float64
+	AttrMean      []float64
+	AttrStd       []float64
+	AttrRho       []float64
+	AttrR2        []float64
+	AttrCorr      []float64
+	AttrCorrChol  []float64
+	AttrQuantiles [][]float64
+}
+
+type savedMatrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// Save writes the model (architecture config, parameters, calibration
+// statistics) to w in gob encoding. The model can be restored with Load
+// and generate immediately without retraining.
+func (m *Model) Save(w io.Writer) error {
+	st := modelState{
+		Cfg:           m.Cfg,
+		Params:        make(map[string]savedMatrix),
+		Trained:       m.trained,
+		EdgeTargets:   m.edgeTargets,
+		ActiveStats:   m.activeStats,
+		PersistRate:   m.persistRate,
+		AttrMean:      m.attrMean,
+		AttrStd:       m.attrStd,
+		AttrRho:       m.attrRho,
+		AttrR2:        m.attrR2,
+		AttrCorr:      m.attrCorr,
+		AttrCorrChol:  m.attrCorrChol,
+		AttrQuantiles: m.attrQuantiles,
+	}
+	for _, p := range nn.CollectParams(m.Modules()...) {
+		if _, dup := st.Params[p.Name]; dup {
+			return fmt.Errorf("core: duplicate parameter name %q", p.Name)
+		}
+		st.Params[p.Name] = savedMatrix{
+			Rows: p.Value.Rows, Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		}
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Load restores a model previously written with Save.
+func Load(r io.Reader) (*Model, error) {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	m := New(st.Cfg)
+	for _, p := range nn.CollectParams(m.Modules()...) {
+		sm, ok := st.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: saved model missing parameter %q", p.Name)
+		}
+		if sm.Rows != p.Value.Rows || sm.Cols != p.Value.Cols {
+			return nil, fmt.Errorf("core: parameter %q has shape %dx%d, want %dx%d",
+				p.Name, sm.Rows, sm.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, sm.Data)
+	}
+	m.trained = st.Trained
+	m.edgeTargets = st.EdgeTargets
+	m.activeStats = st.ActiveStats
+	m.persistRate = st.PersistRate
+	m.attrMean = st.AttrMean
+	m.attrStd = st.AttrStd
+	m.attrRho = st.AttrRho
+	m.attrR2 = st.AttrR2
+	m.attrCorr = st.AttrCorr
+	m.attrCorrChol = st.AttrCorrChol
+	m.attrQuantiles = st.AttrQuantiles
+	return m, nil
+}

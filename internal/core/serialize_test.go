@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := toyGraph(12, 2, 3, 44)
+	m := New(smallConfig(12, 2))
+	if _, err := m.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Trained() {
+		t.Fatal("loaded model must keep trained flag")
+	}
+	if m2.NumParams() != m.NumParams() {
+		t.Fatalf("param count changed: %d vs %d", m2.NumParams(), m.NumParams())
+	}
+	// Generation from the restored model must reproduce the original's
+	// output exactly for the same seed.
+	a, err := m.GenerateOpts(GenOptions{T: 3, Seed: 9, Parallel: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m2.GenerateOpts(GenOptions{T: 3, Seed: 9, Parallel: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 3; tt++ {
+		sa, sb := a.At(tt), b.At(tt)
+		if sa.NumEdges() != sb.NumEdges() {
+			t.Fatalf("t=%d: edge counts differ after round-trip (%d vs %d)",
+				tt, sa.NumEdges(), sb.NumEdges())
+		}
+		for u := 0; u < sa.N; u++ {
+			for _, v := range sa.Out[u] {
+				if !sb.HasEdge(u, v) {
+					t.Fatalf("t=%d: edge %d->%d missing after round-trip", tt, u, v)
+				}
+			}
+		}
+		if !sa.X.Equal(sb.X, 1e-12) {
+			t.Fatalf("t=%d: attributes differ after round-trip", tt)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Fatal("garbage input must fail")
+	}
+}
+
+func TestSaveUntrainedModel(t *testing.T) {
+	m := New(smallConfig(8, 1))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Trained() {
+		t.Fatal("untrained flag must survive round-trip")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+)
+
+func TestTBPTTTrainsAndGenerates(t *testing.T) {
+	g := toyGraph(14, 2, 6, 21)
+	cfg := smallConfig(14, 2)
+	cfg.TBPTT = 2 // three windows per epoch
+	cfg.Epochs = 8
+	m := New(cfg)
+	var first, last float64
+	if _, err := m.Fit(g, WithProgress(func(s TrainStats) {
+		if s.Epoch == 0 {
+			first = s.Loss
+		}
+		last = s.Loss
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Fatalf("TBPTT training did not reduce loss: %g -> %g", first, last)
+	}
+	out, err := m.Generate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTBPTTWindowLargerThanSequence(t *testing.T) {
+	g := toyGraph(10, 1, 3, 22)
+	cfg := smallConfig(10, 1)
+	cfg.TBPTT = 99 // clamps to T
+	cfg.Epochs = 2
+	m := New(cfg)
+	if _, err := m.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborSampleTraining(t *testing.T) {
+	// A hub-heavy graph trained with a tight neighbour cap must still
+	// train and generate.
+	g := dyngraph.NewSequence(20, 1, 3)
+	rng := rand.New(rand.NewSource(23))
+	for tt := 0; tt < 3; tt++ {
+		s := g.At(tt)
+		for v := 1; v < 20; v++ {
+			s.AddEdge(0, v) // hub fan-out
+			if rng.Float64() < 0.3 {
+				s.AddEdge(v, rng.Intn(20))
+			}
+		}
+		for i := 0; i < 20; i++ {
+			s.X.Set(i, 0, rng.NormFloat64())
+		}
+	}
+	cfg := smallConfig(20, 1)
+	cfg.NeighborSample = 4
+	cfg.Epochs = 3
+	m := New(cfg)
+	if _, err := m.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleNeighborsView(t *testing.T) {
+	s := dyngraph.NewSnapshot(10, 0)
+	for v := 1; v < 10; v++ {
+		s.AddEdge(0, v)
+	}
+	rng := rand.New(rand.NewSource(24))
+	view := s.SampleNeighbors(3, rng)
+	if len(view.Out[0]) != 3 {
+		t.Fatalf("hub out-list not capped: %d", len(view.Out[0]))
+	}
+	// untouched snapshot unchanged
+	if len(s.Out[0]) != 9 {
+		t.Fatal("SampleNeighbors must not mutate the receiver")
+	}
+	// below-cap graphs return the receiver itself
+	if s.SampleNeighbors(100, rng) != s {
+		t.Fatal("no-op sampling must return the receiver")
+	}
+	if s.SampleNeighbors(0, rng) != s {
+		t.Fatal("r=0 must return the receiver")
+	}
+}

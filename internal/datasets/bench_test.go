@@ -1,0 +1,18 @@
+package datasets
+
+import "testing"
+
+// BenchmarkReplicaGeneration measures the synthetic dataset process at a
+// mid scale (the substrate cost underneath every experiment).
+func BenchmarkReplicaGeneration(b *testing.B) {
+	for _, name := range []string{Email, Guarantee, GDELT} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Replica(name, 0.1, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,307 @@
+// Package dyngraph defines the dynamic attributed directed graph model used
+// throughout the repository: a Sequence of Snapshots over a fixed node set
+// (the paper's formulation G = {G_t(V, E_t, X_t)}), with sparse adjacency,
+// per-node attribute vectors, and text-based persistence.
+package dyngraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vrdag/internal/tensor"
+)
+
+// Snapshot is one timestep of a dynamic attributed graph: a directed graph
+// over N nodes with an optional N×F attribute matrix. Adjacency is stored
+// as sorted out- and in-neighbour lists, which keeps edge insertion
+// deduplicated and membership queries O(log deg).
+type Snapshot struct {
+	N   int
+	Out [][]int        // Out[u] = sorted destinations of u
+	In  [][]int        // In[v]  = sorted sources of v
+	X   *tensor.Matrix // N×F attributes; nil when the graph is unattributed
+	m   int            // edge count
+}
+
+// NewSnapshot returns an empty snapshot over n nodes with f attribute
+// dimensions (f == 0 leaves X nil).
+func NewSnapshot(n, f int) *Snapshot {
+	s := &Snapshot{N: n, Out: make([][]int, n), In: make([][]int, n)}
+	if f > 0 {
+		s.X = tensor.New(n, f)
+	}
+	return s
+}
+
+// insertSorted inserts v into the sorted slice if absent; reports insertion.
+func insertSorted(s []int, v int) ([]int, bool) {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
+}
+
+// AddEdge inserts the directed edge u→v, ignoring duplicates and
+// self-loops. It reports whether a new edge was added.
+func (s *Snapshot) AddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= s.N || v >= s.N {
+		return false
+	}
+	out, added := insertSorted(s.Out[u], v)
+	if !added {
+		return false
+	}
+	s.Out[u] = out
+	s.In[v], _ = insertSorted(s.In[v], u)
+	s.m++
+	return true
+}
+
+// RemoveEdge deletes u→v if present, reporting whether it existed.
+func (s *Snapshot) RemoveEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= s.N || v >= s.N {
+		return false
+	}
+	i := sort.SearchInts(s.Out[u], v)
+	if i >= len(s.Out[u]) || s.Out[u][i] != v {
+		return false
+	}
+	s.Out[u] = append(s.Out[u][:i], s.Out[u][i+1:]...)
+	j := sort.SearchInts(s.In[v], u)
+	s.In[v] = append(s.In[v][:j], s.In[v][j+1:]...)
+	s.m--
+	return true
+}
+
+// HasEdge reports whether u→v exists.
+func (s *Snapshot) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= s.N || v >= s.N {
+		return false
+	}
+	i := sort.SearchInts(s.Out[u], v)
+	return i < len(s.Out[u]) && s.Out[u][i] == v
+}
+
+// NumEdges returns the number of directed edges.
+func (s *Snapshot) NumEdges() int { return s.m }
+
+// OutDegree returns |Out(u)|.
+func (s *Snapshot) OutDegree(u int) int { return len(s.Out[u]) }
+
+// InDegree returns |In(v)|.
+func (s *Snapshot) InDegree(v int) int { return len(s.In[v]) }
+
+// Edges returns all directed edges as (src, dst) pairs in deterministic
+// (src-major, dst-minor) order.
+func (s *Snapshot) Edges() [][2]int {
+	out := make([][2]int, 0, s.m)
+	for u := 0; u < s.N; u++ {
+		for _, v := range s.Out[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// EdgeLists returns parallel src/dst index slices (handy for CSR and
+// gather/scatter message passing).
+func (s *Snapshot) EdgeLists() (src, dst []int) {
+	src = make([]int, 0, s.m)
+	dst = make([]int, 0, s.m)
+	for u := 0; u < s.N; u++ {
+		for _, v := range s.Out[u] {
+			src = append(src, u)
+			dst = append(dst, v)
+		}
+	}
+	return src, dst
+}
+
+// AdjCSR returns the adjacency matrix A (A[u][v] = 1 for edge u→v) in CSR
+// form; A·H aggregates each node's out-neighbour states.
+func (s *Snapshot) AdjCSR() *tensor.CSR {
+	src, dst := s.EdgeLists()
+	return tensor.NewCSR(s.N, s.N, src, dst, nil)
+}
+
+// AdjTCSR returns Aᵀ in CSR form; Aᵀ·H aggregates in-neighbour states.
+func (s *Snapshot) AdjTCSR() *tensor.CSR {
+	src, dst := s.EdgeLists()
+	return tensor.NewCSR(s.N, s.N, dst, src, nil)
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{N: s.N, Out: make([][]int, s.N), In: make([][]int, s.N), m: s.m}
+	for i := range s.Out {
+		c.Out[i] = append([]int(nil), s.Out[i]...)
+		c.In[i] = append([]int(nil), s.In[i]...)
+	}
+	if s.X != nil {
+		c.X = s.X.Clone()
+	}
+	return c
+}
+
+// UndirectedNeighbors returns the union of in- and out-neighbours of u
+// (used by clustering coefficient, coreness, and components, which the
+// paper computes on the underlying undirected graph).
+func (s *Snapshot) UndirectedNeighbors(u int) []int {
+	res := make([]int, 0, len(s.Out[u])+len(s.In[u]))
+	i, j := 0, 0
+	for i < len(s.Out[u]) && j < len(s.In[u]) {
+		a, b := s.Out[u][i], s.In[u][j]
+		switch {
+		case a == b:
+			res = append(res, a)
+			i++
+			j++
+		case a < b:
+			res = append(res, a)
+			i++
+		default:
+			res = append(res, b)
+			j++
+		}
+	}
+	res = append(res, s.Out[u][i:]...)
+	res = append(res, s.In[u][j:]...)
+	return res
+}
+
+// SampleNeighbors returns a view of the snapshot in which every node
+// keeps at most r out-neighbours and r in-neighbours, sampled without
+// replacement. Attribute data is shared (not copied). This implements the
+// per-node neighbour sampling (the paper's r in §III-G) that bounds
+// message-passing cost on high-degree graphs; with r <= 0 or no node above
+// the cap, the receiver itself is returned.
+//
+// The view is intended for encoder message passing only: because the two
+// directions are sampled independently, it does not maintain the In/Out
+// symmetry invariant of a full Snapshot and must not be mutated or
+// Validated.
+func (s *Snapshot) SampleNeighbors(r int, rng *rand.Rand) *Snapshot {
+	if r <= 0 {
+		return s
+	}
+	over := false
+	for v := 0; v < s.N && !over; v++ {
+		over = len(s.Out[v]) > r || len(s.In[v]) > r
+	}
+	if !over {
+		return s
+	}
+	out := &Snapshot{N: s.N, Out: make([][]int, s.N), In: make([][]int, s.N), X: s.X}
+	pick := func(list []int) []int {
+		if len(list) <= r {
+			return append([]int(nil), list...)
+		}
+		idx := rng.Perm(len(list))[:r]
+		sort.Ints(idx)
+		sel := make([]int, r)
+		for k, i := range idx {
+			sel[k] = list[i]
+		}
+		return sel
+	}
+	count := 0
+	for v := 0; v < s.N; v++ {
+		out.Out[v] = pick(s.Out[v])
+		out.In[v] = pick(s.In[v])
+		count += len(out.Out[v])
+	}
+	out.m = count
+	return out
+}
+
+// Sequence is a dynamic attributed graph: T snapshots over a shared node
+// universe of size N with F attribute dimensions.
+type Sequence struct {
+	N         int
+	F         int
+	Snapshots []*Snapshot
+}
+
+// NewSequence allocates a sequence of tt empty snapshots.
+func NewSequence(n, f, tt int) *Sequence {
+	g := &Sequence{N: n, F: f, Snapshots: make([]*Snapshot, tt)}
+	for t := range g.Snapshots {
+		g.Snapshots[t] = NewSnapshot(n, f)
+	}
+	return g
+}
+
+// T returns the number of timesteps.
+func (g *Sequence) T() int { return len(g.Snapshots) }
+
+// At returns the snapshot at timestep t.
+func (g *Sequence) At(t int) *Snapshot { return g.Snapshots[t] }
+
+// TotalTemporalEdges returns Σ_t |E_t| (the paper's M).
+func (g *Sequence) TotalTemporalEdges() int {
+	m := 0
+	for _, s := range g.Snapshots {
+		m += s.NumEdges()
+	}
+	return m
+}
+
+// Clone deep-copies the sequence.
+func (g *Sequence) Clone() *Sequence {
+	c := &Sequence{N: g.N, F: g.F, Snapshots: make([]*Snapshot, g.T())}
+	for t, s := range g.Snapshots {
+		c.Snapshots[t] = s.Clone()
+	}
+	return c
+}
+
+// Validate checks internal consistency (out/in symmetry, sortedness,
+// attribute shapes) and returns a descriptive error on the first violation.
+func (g *Sequence) Validate() error {
+	for t, s := range g.Snapshots {
+		if s.N != g.N {
+			return fmt.Errorf("dyngraph: snapshot %d has N=%d, sequence N=%d", t, s.N, g.N)
+		}
+		if g.F > 0 {
+			if s.X == nil {
+				return fmt.Errorf("dyngraph: snapshot %d missing attributes", t)
+			}
+			if s.X.Rows != g.N || s.X.Cols != g.F {
+				return fmt.Errorf("dyngraph: snapshot %d attribute shape %dx%d, want %dx%d",
+					t, s.X.Rows, s.X.Cols, g.N, g.F)
+			}
+		}
+		count := 0
+		for u := 0; u < s.N; u++ {
+			if !sort.IntsAreSorted(s.Out[u]) {
+				return fmt.Errorf("dyngraph: snapshot %d Out[%d] unsorted", t, u)
+			}
+			count += len(s.Out[u])
+			for _, v := range s.Out[u] {
+				if u == v {
+					return fmt.Errorf("dyngraph: snapshot %d self-loop at %d", t, u)
+				}
+				i := sort.SearchInts(s.In[v], u)
+				if i >= len(s.In[v]) || s.In[v][i] != u {
+					return fmt.Errorf("dyngraph: snapshot %d edge %d->%d missing from In", t, u, v)
+				}
+			}
+		}
+		if count != s.m {
+			return fmt.Errorf("dyngraph: snapshot %d edge count %d != m %d", t, count, s.m)
+		}
+		inCount := 0
+		for v := 0; v < s.N; v++ {
+			inCount += len(s.In[v])
+		}
+		if inCount != s.m {
+			return fmt.Errorf("dyngraph: snapshot %d in-list count %d != m %d", t, inCount, s.m)
+		}
+	}
+	return nil
+}

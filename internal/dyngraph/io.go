@@ -1,0 +1,116 @@
+package dyngraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line-based and self-describing:
+//
+//	vrdag-graph 1
+//	meta <N> <F> <T>
+//	e <t> <src> <dst>
+//	x <t> <node> <v1> <v2> ... <vF>
+//
+// Edge and attribute lines may appear in any order. Attribute lines are
+// optional; omitted rows stay zero.
+
+// Save writes the sequence in the vrdag-graph text format.
+func Save(w io.Writer, g *Sequence) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "vrdag-graph 1\nmeta %d %d %d\n", g.N, g.F, g.T()); err != nil {
+		return err
+	}
+	for t, s := range g.Snapshots {
+		for u := 0; u < s.N; u++ {
+			for _, v := range s.Out[u] {
+				if _, err := fmt.Fprintf(bw, "e %d %d %d\n", t, u, v); err != nil {
+					return err
+				}
+			}
+		}
+		if s.X != nil {
+			for i := 0; i < s.N; i++ {
+				row := s.X.Row(i)
+				var sb strings.Builder
+				fmt.Fprintf(&sb, "x %d %d", t, i)
+				for _, v := range row {
+					fmt.Fprintf(&sb, " %g", v)
+				}
+				sb.WriteByte('\n')
+				if _, err := bw.WriteString(sb.String()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses a sequence from the vrdag-graph text format.
+func Load(r io.Reader) (*Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dyngraph: empty input")
+	}
+	if strings.TrimSpace(sc.Text()) != "vrdag-graph 1" {
+		return nil, fmt.Errorf("dyngraph: bad magic line %q", sc.Text())
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dyngraph: missing meta line")
+	}
+	var n, f, tt int
+	if _, err := fmt.Sscanf(sc.Text(), "meta %d %d %d", &n, &f, &tt); err != nil {
+		return nil, fmt.Errorf("dyngraph: bad meta line %q: %w", sc.Text(), err)
+	}
+	g := NewSequence(n, f, tt)
+	lineNo := 2
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dyngraph: line %d: bad edge %q", lineNo, line)
+			}
+			t, err1 := strconv.Atoi(fields[1])
+			u, err2 := strconv.Atoi(fields[2])
+			v, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil || t < 0 || t >= tt {
+				return nil, fmt.Errorf("dyngraph: line %d: bad edge %q", lineNo, line)
+			}
+			g.Snapshots[t].AddEdge(u, v)
+		case "x":
+			if f == 0 {
+				return nil, fmt.Errorf("dyngraph: line %d: attribute row in unattributed graph", lineNo)
+			}
+			if len(fields) != 3+f {
+				return nil, fmt.Errorf("dyngraph: line %d: expected %d attribute values", lineNo, f)
+			}
+			t, err1 := strconv.Atoi(fields[1])
+			i, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || t < 0 || t >= tt || i < 0 || i >= n {
+				return nil, fmt.Errorf("dyngraph: line %d: bad attribute row %q", lineNo, line)
+			}
+			row := g.Snapshots[t].X.Row(i)
+			for j := 0; j < f; j++ {
+				v, err := strconv.ParseFloat(fields[3+j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dyngraph: line %d: bad value %q", lineNo, fields[3+j])
+				}
+				row[j] = v
+			}
+		default:
+			return nil, fmt.Errorf("dyngraph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	return g, sc.Err()
+}

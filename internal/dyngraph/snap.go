@@ -1,0 +1,154 @@
+package dyngraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadSNAP parses the whitespace-separated temporal edge-list format used
+// by SNAP and the network repository (the sources of the paper's public
+// datasets):
+//
+//	# comment lines are skipped
+//	<src> <dst> [timestamp]
+//
+// Node identifiers may be arbitrary non-negative integers; they are
+// compacted to [0, N). Timestamps (Unix seconds or any monotone integers)
+// are bucketed into t equal-width snapshots; when a line has no timestamp
+// every edge lands in snapshot 0. Self-loops and duplicates are dropped,
+// matching the repository's graph model.
+func LoadSNAP(r io.Reader, t int) (*Sequence, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("dyngraph: LoadSNAP needs t >= 1, got %d", t)
+	}
+	type rawEdge struct {
+		u, v int
+		ts   int64
+	}
+	var edges []rawEdge
+	ids := make(map[int]int)
+	intern := func(raw int) int {
+		if id, ok := ids[raw]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[raw] = id
+		return id
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	minTS, maxTS := int64(1<<62), int64(-1<<62)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dyngraph: line %d: need at least src and dst", lineNo)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || u < 0 || v < 0 {
+			return nil, fmt.Errorf("dyngraph: line %d: bad node ids %q", lineNo, line)
+		}
+		var ts int64
+		if len(fields) >= 3 {
+			// Third column may be a weight in some dumps; accept any
+			// integer-looking value as the timestamp, else ignore it.
+			if parsed, err := strconv.ParseInt(fields[len(fields)-1], 10, 64); err == nil {
+				ts = parsed
+			}
+		}
+		if ts < minTS {
+			minTS = ts
+		}
+		if ts > maxTS {
+			maxTS = ts
+		}
+		edges = append(edges, rawEdge{u: intern(u), v: intern(v), ts: ts})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("dyngraph: LoadSNAP found no edges")
+	}
+	g := NewSequence(len(ids), 0, t)
+	span := maxTS - minTS
+	for _, e := range edges {
+		bucket := 0
+		if span > 0 {
+			bucket = int((e.ts - minTS) * int64(t) / (span + 1))
+			if bucket >= t {
+				bucket = t - 1
+			}
+		}
+		g.Snapshots[bucket].AddEdge(e.u, e.v)
+	}
+	return g, nil
+}
+
+// SaveSNAP writes the sequence as a SNAP-style temporal edge list with the
+// snapshot index as the timestamp column.
+func SaveSNAP(w io.Writer, g *Sequence) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vrdag export: N=%d T=%d M=%d\n", g.N, g.T(), g.TotalTemporalEdges()); err != nil {
+		return err
+	}
+	for t, s := range g.Snapshots {
+		for u := 0; u < s.N; u++ {
+			for _, v := range s.Out[u] {
+				if _, err := fmt.Fprintf(bw, "%d %d %d\n", u, v, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// CompactNodes returns a copy of g restricted to nodes that appear in at
+// least one edge, with identifiers renumbered to [0, N'). The returned
+// mapping gives the original id of each new node. Attribute rows follow
+// their nodes. Useful after loading sparse external edge lists.
+func CompactNodes(g *Sequence) (*Sequence, []int) {
+	used := make([]bool, g.N)
+	for _, s := range g.Snapshots {
+		for u := 0; u < s.N; u++ {
+			if len(s.Out[u]) > 0 || len(s.In[u]) > 0 {
+				used[u] = true
+			}
+		}
+	}
+	var mapping []int
+	newID := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		if used[v] {
+			newID[v] = len(mapping)
+			mapping = append(mapping, v)
+		} else {
+			newID[v] = -1
+		}
+	}
+	out := NewSequence(len(mapping), g.F, g.T())
+	for t, s := range g.Snapshots {
+		ns := out.At(t)
+		for u := 0; u < s.N; u++ {
+			for _, v := range s.Out[u] {
+				ns.AddEdge(newID[u], newID[v])
+			}
+		}
+		if g.F > 0 {
+			for newV, oldV := range mapping {
+				copy(ns.X.Row(newV), s.X.Row(oldV))
+			}
+		}
+	}
+	return out, mapping
+}

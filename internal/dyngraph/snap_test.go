@@ -1,0 +1,111 @@
+package dyngraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadSNAPBasic(t *testing.T) {
+	in := `# comment
+10 20 100
+20 30 150
+30 10 200
+10 30 200
+`
+	g, err := LoadSNAP(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 {
+		t.Fatalf("N = %d, want 3 (ids compacted)", g.N)
+	}
+	if g.T() != 2 {
+		t.Fatalf("T = %d", g.T())
+	}
+	// ts 100,150 -> bucket 0; ts 200 -> bucket 1
+	if g.At(0).NumEdges() != 2 {
+		t.Fatalf("bucket 0 edges = %d", g.At(0).NumEdges())
+	}
+	if g.At(1).NumEdges() != 2 {
+		t.Fatalf("bucket 1 edges = %d", g.At(1).NumEdges())
+	}
+}
+
+func TestLoadSNAPNoTimestamps(t *testing.T) {
+	g, err := LoadSNAP(strings.NewReader("0 1\n1 2\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0).NumEdges() != 2 || g.At(1).NumEdges() != 0 {
+		t.Fatal("without timestamps all edges must land in snapshot 0")
+	}
+}
+
+func TestLoadSNAPErrors(t *testing.T) {
+	if _, err := LoadSNAP(strings.NewReader("0 1\n"), 0); err == nil {
+		t.Fatal("t=0 must be rejected")
+	}
+	if _, err := LoadSNAP(strings.NewReader("# only comments\n"), 2); err == nil {
+		t.Fatal("edgeless input must error")
+	}
+	if _, err := LoadSNAP(strings.NewReader("just-one-field\n"), 2); err == nil {
+		t.Fatal("short lines must error")
+	}
+	if _, err := LoadSNAP(strings.NewReader("-1 2\n"), 2); err == nil {
+		t.Fatal("negative ids must error")
+	}
+}
+
+func TestSaveSNAPRoundTrip(t *testing.T) {
+	g := NewSequence(4, 0, 3)
+	g.At(0).AddEdge(0, 1)
+	g.At(1).AddEdge(1, 2)
+	g.At(2).AddEdge(2, 3)
+	var buf bytes.Buffer
+	if err := SaveSNAP(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSNAP(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalTemporalEdges() != 3 {
+		t.Fatalf("edges after round-trip = %d", got.TotalTemporalEdges())
+	}
+	if !got.At(0).HasEdge(0, 1) || !got.At(2).HasEdge(2, 3) {
+		t.Fatal("timestamps lost in round-trip")
+	}
+}
+
+func TestCompactNodes(t *testing.T) {
+	g := NewSequence(6, 1, 2)
+	g.At(0).AddEdge(1, 4)
+	g.At(1).AddEdge(4, 1)
+	g.At(0).X.Set(1, 0, 11)
+	g.At(0).X.Set(4, 0, 44)
+	out, mapping := CompactNodes(g)
+	if out.N != 2 {
+		t.Fatalf("compact N = %d, want 2", out.N)
+	}
+	if len(mapping) != 2 || mapping[0] != 1 || mapping[1] != 4 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	if !out.At(0).HasEdge(0, 1) || !out.At(1).HasEdge(1, 0) {
+		t.Fatal("edges lost in compaction")
+	}
+	if out.At(0).X.At(0, 0) != 11 || out.At(0).X.At(1, 0) != 44 {
+		t.Fatal("attributes not carried through compaction")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactNodesAllIsolated(t *testing.T) {
+	g := NewSequence(3, 0, 1)
+	out, mapping := CompactNodes(g)
+	if out.N != 0 || len(mapping) != 0 {
+		t.Fatal("fully isolated graph must compact to empty")
+	}
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"vrdag/internal/datasets"
+)
+
+// tiny returns options that keep experiment tests fast.
+func tiny() Options { return Options{Scale: 0.015, Seed: 5, Epochs: 2} }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func TestTable1EmailIncludesAllMethods(t *testing.T) {
+	rows, err := Table1(datasets.Email, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"GRAN": false, "GenCAT": false, "TagGen": false,
+		"Dymond": false, "TGGAN": false, "TIGGER": false, "VRDAG": false}
+	for _, r := range rows {
+		want[r.Method] = true
+		if r.Err == nil {
+			rep := r.Report
+			for _, v := range []float64{rep.InDegMMD, rep.OutDegMMD, rep.ClusMMD,
+				rep.InPLE, rep.OutPLE, rep.Wedge, rep.NC, rep.LCC} {
+				if !finite(v) || v < 0 {
+					t.Fatalf("%s: bad metric value %v", r.Method, v)
+				}
+			}
+		}
+	}
+	for m, seen := range want {
+		if !seen {
+			t.Fatalf("method %s missing from Table 1", m)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "VRDAG") {
+		t.Fatal("printout missing VRDAG row")
+	}
+}
+
+func TestTable1ExcludesDymondOffEmail(t *testing.T) {
+	rows, err := Table1(datasets.Bitcoin, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Method == "Dymond" {
+			t.Fatal("Dymond must only run on Email (paper protocol)")
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 datasets × 3 methods
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !finite(r.MAE) || r.MAE < 0 {
+			t.Fatalf("bad MAE for %s/%s: %v", r.Dataset, r.Method, r.MAE)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "guarantee") {
+		t.Fatal("printout missing guarantee rows")
+	}
+}
+
+func TestFigure3CoversAllDatasets(t *testing.T) {
+	rows, err := Figure3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, r := range rows {
+		seen[r.Dataset]++
+		if !finite(r.JSD) || !finite(r.EMD) || r.JSD < 0 || r.EMD < 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	for _, ds := range datasets.AllNames() {
+		if seen[ds] != 3 {
+			t.Fatalf("dataset %s has %d rows, want 3", ds, seen[ds])
+		}
+	}
+}
+
+func TestFigures4to6SeriesShape(t *testing.T) {
+	series, err := Figures4to6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 3 metrics × 3 lines
+	if len(series) != 27 {
+		t.Fatalf("expected 27 series, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Values) == 0 {
+			t.Fatalf("empty series: %s/%s/%s", s.Dataset, s.Metric, s.Line)
+		}
+		for _, v := range s.Values {
+			if !finite(v) || v < 0 {
+				t.Fatalf("bad value in %s/%s/%s: %v", s.Dataset, s.Metric, s.Line, v)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintSeries(&buf, series)
+	if !strings.Contains(buf.String(), "coreness") {
+		t.Fatal("printout missing coreness series")
+	}
+}
+
+func TestFigures7to8(t *testing.T) {
+	series, err := Figures7to8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 2 metrics × 2 lines
+	if len(series) != 12 {
+		t.Fatalf("expected 12 series, got %d", len(series))
+	}
+}
+
+func TestFigure9OrderingVRDAGFastestGeneration(t *testing.T) {
+	rows, err := Figure9(Options{Scale: 0.015, Seed: 6, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := map[string]float64{}
+	count := map[string]int{}
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Fatalf("%s/%s: %v", r.Dataset, r.Method, r.Err)
+		}
+		gen[r.Method] += r.GenSec
+		count[r.Method]++
+	}
+	// The paper's headline: VRDAG generation is faster than every
+	// walk-based baseline (by orders of magnitude at full scale).
+	if gen["VRDAG"] >= gen["TagGen"] {
+		t.Fatalf("VRDAG generation (%gs) must beat TagGen (%gs)", gen["VRDAG"], gen["TagGen"])
+	}
+	var buf bytes.Buffer
+	PrintTimings(&buf, rows)
+	if !strings.Contains(buf.String(), "Generate(s)") {
+		t.Fatal("bad printout")
+	}
+}
+
+func TestScalabilityRows(t *testing.T) {
+	rows, err := Scalability(Options{Scale: 1, Seed: 7, Epochs: 2}, []int{1000, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 edge targets × 4 methods
+	if len(rows) != 8 {
+		t.Fatalf("expected 8 rows, got %d", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintScale(&buf, rows)
+	if !strings.Contains(buf.String(), "#Edges") {
+		t.Fatal("bad printout")
+	}
+}
+
+func TestFigure10Rows(t *testing.T) {
+	rows, err := Figure10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 3 methods
+	if len(rows) != 9 {
+		t.Fatalf("expected 9 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LinkF1 < 0 || r.LinkF1 > 1 || !finite(r.AttrRMSE) {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, rows)
+	if !strings.Contains(buf.String(), "No Augmentation") {
+		t.Fatal("bad printout")
+	}
+}
+
+func TestAblationVariants(t *testing.T) {
+	rows, err := Ablation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 variants, got %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Variant] = true
+		for _, v := range []float64{r.InDegMMD, r.ClusMMD, r.AttrJSD, r.SpearMAE} {
+			if !finite(v) || v < 0 {
+				t.Fatalf("bad ablation value in %s: %v", r.Variant, v)
+			}
+		}
+	}
+	if !names["VRDAG (full)"] || !names["w/o bi-flow"] {
+		t.Fatalf("missing variants: %v", names)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "Variant") {
+		t.Fatal("bad printout")
+	}
+}
+
+func TestFigure9Sweep(t *testing.T) {
+	rows, err := Figure9Sweep(Options{Scale: 0.01, Seed: 8, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 horizons × 4 methods
+	if len(rows) != 16 {
+		t.Fatalf("expected 16 rows, got %d", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "Train(s)") {
+		t.Fatal("bad printout")
+	}
+}
+
+func TestParamAnalysis(t *testing.T) {
+	rows, err := ParamAnalysis(Options{Scale: 0.01, Seed: 9, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 + 4 + 4 + 3 sweep points
+	if len(rows) != 15 {
+		t.Fatalf("expected 15 rows, got %d", len(rows))
+	}
+	params := map[string]int{}
+	for _, r := range rows {
+		params[r.Param]++
+		if !finite(r.InDegMMD) || !finite(r.AttrJSD) || r.TrainSec <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	if params["dz"] != 4 || params["L"] != 3 {
+		t.Fatalf("sweep coverage wrong: %v", params)
+	}
+	var buf bytes.Buffer
+	PrintParams(&buf, rows)
+	if !strings.Contains(buf.String(), "Param") {
+		t.Fatal("bad printout")
+	}
+}

@@ -1,0 +1,48 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/tensor"
+)
+
+func benchGraph(n, edges int) *dyngraph.Snapshot {
+	rng := rand.New(rand.NewSource(1))
+	s := dyngraph.NewSnapshot(n, 4)
+	for e := 0; e < edges; e++ {
+		s.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			s.X.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return s
+}
+
+// BenchmarkEncodeValue measures the tape-free bi-flow encoding used in the
+// generation hot path.
+func BenchmarkEncodeValue(b *testing.B) {
+	enc := NewBiFlowEncoder("e", BiFlowConfig{
+		InDim: 4, Hidden: 16, OutDim: 16, Layers: 2, MLPLayers: 1, BiFlow: true,
+	}, rand.New(rand.NewSource(2)))
+	s := benchGraph(1000, 8000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeValue(s)
+	}
+}
+
+// BenchmarkGATForward measures tape-free attention aggregation.
+func BenchmarkGATForward(b *testing.B) {
+	g := NewGAT("g", 24, 16, rand.New(rand.NewSource(3)))
+	s := benchGraph(1000, 8000)
+	src, dst := s.EdgeLists()
+	states := tensor.Randn(1000, 24, 1, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Forward(states, src, dst, 1000)
+	}
+}

@@ -1,0 +1,83 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/nn"
+	"vrdag/internal/tensor"
+)
+
+func TestEncodeValueMatchesTapedEncode(t *testing.T) {
+	for _, biflow := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(11))
+		cfg := BiFlowConfig{InDim: 2, Hidden: 6, OutDim: 4, Layers: 2, MLPLayers: 2, BiFlow: biflow}
+		enc := NewBiFlowEncoder("enc", cfg, rng)
+		s := dyngraph.NewSnapshot(7, 2)
+		g := rand.New(rand.NewSource(12))
+		for e := 0; e < 12; e++ {
+			s.AddEdge(g.Intn(7), g.Intn(7))
+		}
+		for i := 0; i < 7; i++ {
+			s.X.Set(i, 0, g.NormFloat64())
+			s.X.Set(i, 1, g.NormFloat64())
+		}
+		tape := tensor.NewTape()
+		taped := enc.Encode(nn.NewEvalCtx(tape), s)
+		value := enc.EncodeValue(s)
+		if !taped.Value.Equal(value, 1e-9) {
+			t.Fatalf("biflow=%v: EncodeValue diverges from taped Encode", biflow)
+		}
+	}
+}
+
+func TestGATForwardMatchesTapedApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := NewGAT("gat", 5, 4, rng)
+	states := tensor.Randn(6, 5, 1, rng)
+	src := []int{0, 1, 2, 4}
+	dst := []int{1, 2, 0, 5}
+	tape := tensor.NewTape()
+	taped := g.Apply(nn.NewEvalCtx(tape), tape.Const(states), src, dst, 6)
+	value := g.Forward(states, src, dst, 6)
+	if !taped.Value.Equal(value, 1e-9) {
+		t.Fatal("GAT Forward diverges from taped Apply")
+	}
+}
+
+func TestLinearForwardMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	l := nn.NewLinear("l", 3, 4, rng)
+	x := tensor.Randn(5, 3, 1, rng)
+	tape := tensor.NewTape()
+	taped := l.Apply(nn.NewEvalCtx(tape), tape.Const(x))
+	if !taped.Value.Equal(l.Forward(x), 1e-12) {
+		t.Fatal("Linear Forward diverges")
+	}
+}
+
+func TestMLPForwardMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m := nn.NewMLP("m", []int{3, 6, 2}, nn.ActLeakyReLU, rng)
+	m.OutAct = nn.ActSigmoid
+	x := tensor.Randn(4, 3, 1, rng)
+	tape := tensor.NewTape()
+	taped := m.Apply(nn.NewEvalCtx(tape), tape.Const(x))
+	if !taped.Value.Equal(m.Forward(x), 1e-12) {
+		t.Fatal("MLP Forward diverges")
+	}
+}
+
+func TestGRUForwardMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	g := nn.NewGRUCell("g", 4, 3, rng)
+	x := tensor.Randn(5, 4, 1, rng)
+	h := tensor.Randn(5, 3, 1, rng)
+	tape := tensor.NewTape()
+	c := nn.NewEvalCtx(tape)
+	taped := g.Step(c, tape.Const(x), tape.Const(h))
+	if !taped.Value.Equal(g.Forward(x, h), 1e-12) {
+		t.Fatal("GRU Forward diverges from Step")
+	}
+}

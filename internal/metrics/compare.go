@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"math"
+
+	"vrdag/internal/dyngraph"
+)
+
+// StructureReport holds the eight structure metrics of Table I, each
+// measuring the discrepancy between an original and a generated sequence
+// (lower is better for all of them).
+type StructureReport struct {
+	InDegMMD  float64 // MMD of in-degree distributions
+	OutDegMMD float64 // MMD of out-degree distributions
+	ClusMMD   float64 // MMD of clustering-coefficient distributions
+	InPLE     float64 // mean relative error of in-degree power-law exponent
+	OutPLE    float64 // mean relative error of out-degree power-law exponent
+	Wedge     float64 // mean relative error of wedge count
+	NC        float64 // mean relative error of #components
+	LCC       float64 // mean relative error of largest component size
+}
+
+// Mavg implements Eq. (19): the mean relative discrepancy of a scalar
+// graph metric across aligned timesteps.
+func Mavg(orig, gen *dyngraph.Sequence, metric func(*dyngraph.Snapshot) float64) float64 {
+	tt := min(orig.T(), gen.T())
+	if tt == 0 {
+		return 0
+	}
+	sum := 0.0
+	for t := 0; t < tt; t++ {
+		mo := metric(orig.At(t))
+		mg := metric(gen.At(t))
+		denom := math.Abs(mo)
+		if denom < 1e-12 {
+			denom = 1
+		}
+		sum += math.Abs(mo-mg) / denom
+	}
+	return sum / float64(tt)
+}
+
+// AvgMMD averages, across aligned timesteps, the MMD between per-snapshot
+// samples produced by sample.
+func AvgMMD(orig, gen *dyngraph.Sequence, sample func(*dyngraph.Snapshot) []float64, sigma float64) float64 {
+	tt := min(orig.T(), gen.T())
+	if tt == 0 {
+		return 0
+	}
+	sum := 0.0
+	for t := 0; t < tt; t++ {
+		sum += MMD(sample(orig.At(t)), sample(gen.At(t)), sigma)
+	}
+	return sum / float64(tt)
+}
+
+// CompareStructure computes the full Table-I row for a generated sequence
+// against the original.
+func CompareStructure(orig, gen *dyngraph.Sequence) StructureReport {
+	pleOf := func(deg func(*dyngraph.Snapshot) []float64) func(*dyngraph.Snapshot) float64 {
+		return func(s *dyngraph.Snapshot) float64 { return PowerLawExponent(deg(s)) }
+	}
+	return StructureReport{
+		InDegMMD:  AvgMMD(orig, gen, InDegrees, 1),
+		OutDegMMD: AvgMMD(orig, gen, OutDegrees, 1),
+		ClusMMD:   AvgMMD(orig, gen, ClusteringCoefficients, 0.1),
+		InPLE:     Mavg(orig, gen, pleOf(InDegrees)),
+		OutPLE:    Mavg(orig, gen, pleOf(OutDegrees)),
+		Wedge:     Mavg(orig, gen, WedgeCount),
+		NC:        Mavg(orig, gen, NumComponents),
+		LCC:       Mavg(orig, gen, LargestComponent),
+	}
+}
+
+// DifferenceSeries implements Eq. (20): for each consecutive snapshot pair
+// (G_t, G_{t+1}) it returns the mean absolute per-node change of the given
+// structural property (degree, clustering coefficient, coreness, ...).
+func DifferenceSeries(g *dyngraph.Sequence, prop func(*dyngraph.Snapshot) []float64) []float64 {
+	tt := g.T()
+	if tt < 2 {
+		return nil
+	}
+	out := make([]float64, tt-1)
+	prev := prop(g.At(0))
+	for t := 1; t < tt; t++ {
+		cur := prop(g.At(t))
+		sum := 0.0
+		for i := range cur {
+			sum += math.Abs(cur[i] - prev[i])
+		}
+		out[t-1] = sum / float64(len(cur))
+		prev = cur
+	}
+	return out
+}
+
+// AttrDifferenceSeries implements Eq. (21): per consecutive snapshot pair,
+// the mean absolute (MAE) and root-mean-square (RMSE) attribute change,
+// averaged along attribute dimensions.
+func AttrDifferenceSeries(g *dyngraph.Sequence) (mae, rmse []float64) {
+	tt := g.T()
+	if tt < 2 || g.F == 0 {
+		return nil, nil
+	}
+	mae = make([]float64, tt-1)
+	rmse = make([]float64, tt-1)
+	n := float64(g.N)
+	for t := 1; t < tt; t++ {
+		xPrev, xCur := g.At(t-1).X, g.At(t).X
+		var sumAbs, sumSq float64
+		for i := 0; i < g.N; i++ {
+			rowP, rowC := xPrev.Row(i), xCur.Row(i)
+			var dAbs, dSq float64
+			for j := 0; j < g.F; j++ {
+				d := rowC[j] - rowP[j]
+				dAbs += math.Abs(d)
+				dSq += d * d
+			}
+			sumAbs += dAbs / float64(g.F)
+			sumSq += dSq / float64(g.F)
+		}
+		mae[t-1] = sumAbs / n
+		rmse[t-1] = math.Sqrt(sumSq / n)
+	}
+	return mae, rmse
+}
+
+// SeriesMAE returns the mean absolute gap between two difference series,
+// truncated to the shorter length. Used to score how closely a generator's
+// dynamics track the original (Figs. 4-8).
+func SeriesMAE(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(n)
+}
+
+// AttributeSamples flattens all node-attribute values of a sequence into a
+// single sample per attribute dimension: result[j] holds every node's
+// dimension-j value across all timesteps.
+func AttributeSamples(g *dyngraph.Sequence) [][]float64 {
+	if g.F == 0 {
+		return nil
+	}
+	out := make([][]float64, g.F)
+	for j := range out {
+		out[j] = make([]float64, 0, g.N*g.T())
+	}
+	for _, s := range g.Snapshots {
+		for i := 0; i < g.N; i++ {
+			row := s.X.Row(i)
+			for j := 0; j < g.F; j++ {
+				out[j] = append(out[j], row[j])
+			}
+		}
+	}
+	return out
+}
+
+// AttributeRows collects node-attribute row vectors across all timesteps
+// (input format for SpearmanMAE).
+func AttributeRows(g *dyngraph.Sequence) [][]float64 {
+	if g.F == 0 {
+		return nil
+	}
+	out := make([][]float64, 0, g.N*g.T())
+	for _, s := range g.Snapshots {
+		for i := 0; i < g.N; i++ {
+			out = append(out, append([]float64(nil), s.X.Row(i)...))
+		}
+	}
+	return out
+}
+
+// AttrJSD returns the mean Jensen-Shannon divergence between per-dimension
+// attribute distributions of two sequences (Fig. 3a).
+func AttrJSD(orig, gen *dyngraph.Sequence, nbins int) float64 {
+	a, b := AttributeSamples(orig), AttributeSamples(gen)
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	sum := 0.0
+	for j := range a {
+		sum += JSD(a[j], b[j], nbins)
+	}
+	return sum / float64(len(a))
+}
+
+// AttrEMD returns the mean earth mover's distance between per-dimension
+// attribute distributions of two sequences (Fig. 3b).
+func AttrEMD(orig, gen *dyngraph.Sequence) float64 {
+	a, b := AttributeSamples(orig), AttributeSamples(gen)
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	sum := 0.0
+	for j := range a {
+		sum += EMD(a[j], b[j])
+	}
+	return sum / float64(len(a))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+)
+
+// randomSequence builds a seeded random dynamic attributed graph.
+func randomSequence(n, f, tt, edgesPer int, seed int64) *dyngraph.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	g := dyngraph.NewSequence(n, f, tt)
+	for t := 0; t < tt; t++ {
+		s := g.At(t)
+		for e := 0; e < edgesPer; e++ {
+			s.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		if f > 0 {
+			for i := 0; i < n; i++ {
+				for j := 0; j < f; j++ {
+					s.X.Set(i, j, rng.NormFloat64())
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestMavgZeroForIdenticalSequences(t *testing.T) {
+	g := randomSequence(20, 0, 5, 30, 1)
+	if v := Mavg(g, g, WedgeCount); v != 0 {
+		t.Fatalf("Mavg(g,g) = %v", v)
+	}
+}
+
+func TestMavgRelativeError(t *testing.T) {
+	a := dyngraph.NewSequence(4, 0, 1)
+	a.At(0).AddEdge(0, 1)
+	a.At(0).AddEdge(1, 2)
+	b := dyngraph.NewSequence(4, 0, 1)
+	b.At(0).AddEdge(0, 1)
+	// metric: edge count; |2-1|/2 = 0.5
+	edgeCount := func(s *dyngraph.Snapshot) float64 { return float64(s.NumEdges()) }
+	if v := Mavg(a, b, edgeCount); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("Mavg = %v, want 0.5", v)
+	}
+}
+
+func TestCompareStructureSelfIsZero(t *testing.T) {
+	g := randomSequence(25, 0, 4, 50, 2)
+	r := CompareStructure(g, g)
+	for name, v := range map[string]float64{
+		"InDegMMD": r.InDegMMD, "OutDegMMD": r.OutDegMMD, "ClusMMD": r.ClusMMD,
+		"InPLE": r.InPLE, "OutPLE": r.OutPLE, "Wedge": r.Wedge, "NC": r.NC, "LCC": r.LCC,
+	} {
+		if v > 1e-9 {
+			t.Fatalf("self-comparison %s = %g, want 0", name, v)
+		}
+	}
+}
+
+func TestCompareStructureDetectsDivergence(t *testing.T) {
+	orig := randomSequence(30, 0, 4, 60, 3)
+	similar := randomSequence(30, 0, 4, 60, 4)  // same process, new seed
+	divergent := randomSequence(30, 0, 4, 6, 5) // 10x sparser
+	rs := CompareStructure(orig, similar)
+	rd := CompareStructure(orig, divergent)
+	if rs.InDegMMD >= rd.InDegMMD {
+		t.Fatalf("sparser graph should diverge more in degree MMD: %g vs %g", rs.InDegMMD, rd.InDegMMD)
+	}
+	if rs.Wedge >= rd.Wedge {
+		t.Fatalf("sparser graph should diverge more in wedge count: %g vs %g", rs.Wedge, rd.Wedge)
+	}
+}
+
+func TestDifferenceSeriesConstantGraph(t *testing.T) {
+	g := dyngraph.NewSequence(5, 0, 3)
+	for tt := 0; tt < 3; tt++ {
+		g.At(tt).AddEdge(0, 1)
+		g.At(tt).AddEdge(1, 2)
+	}
+	ds := DifferenceSeries(g, TotalDegrees)
+	if len(ds) != 2 {
+		t.Fatalf("series length %d", len(ds))
+	}
+	for _, v := range ds {
+		if v != 0 {
+			t.Fatalf("static graph must have zero difference, got %v", ds)
+		}
+	}
+}
+
+func TestDifferenceSeriesDetectsChange(t *testing.T) {
+	g := dyngraph.NewSequence(4, 0, 2)
+	g.At(0).AddEdge(0, 1)
+	g.At(1).AddEdge(0, 1)
+	g.At(1).AddEdge(2, 3) // two nodes gain degree 1 each
+	ds := DifferenceSeries(g, TotalDegrees)
+	want := 2.0 / 4.0
+	if math.Abs(ds[0]-want) > 1e-12 {
+		t.Fatalf("ds = %v, want %v", ds, want)
+	}
+}
+
+func TestAttrDifferenceSeries(t *testing.T) {
+	g := dyngraph.NewSequence(2, 1, 3)
+	g.At(0).X.Set(0, 0, 0)
+	g.At(0).X.Set(1, 0, 0)
+	g.At(1).X.Set(0, 0, 1)
+	g.At(1).X.Set(1, 0, 3)
+	g.At(2).X.Set(0, 0, 1)
+	g.At(2).X.Set(1, 0, 3)
+	mae, rmse := AttrDifferenceSeries(g)
+	if math.Abs(mae[0]-2) > 1e-12 { // (1+3)/2
+		t.Fatalf("mae[0] = %v", mae[0])
+	}
+	wantRMSE := math.Sqrt((1 + 9) / 2.0)
+	if math.Abs(rmse[0]-wantRMSE) > 1e-12 {
+		t.Fatalf("rmse[0] = %v, want %v", rmse[0], wantRMSE)
+	}
+	if mae[1] != 0 || rmse[1] != 0 {
+		t.Fatalf("static step must be zero: %v %v", mae[1], rmse[1])
+	}
+}
+
+func TestAttrDifferenceSeriesUnattributed(t *testing.T) {
+	g := randomSequence(5, 0, 3, 4, 6)
+	mae, rmse := AttrDifferenceSeries(g)
+	if mae != nil || rmse != nil {
+		t.Fatal("unattributed graphs must return nil series")
+	}
+}
+
+func TestSeriesMAE(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 3, 5}
+	if v := SeriesMAE(a, b); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("SeriesMAE = %v", v)
+	}
+	if SeriesMAE(nil, b) != 0 {
+		t.Fatal("empty series must give 0")
+	}
+}
+
+func TestAttributeSamplesShape(t *testing.T) {
+	g := randomSequence(6, 3, 4, 5, 7)
+	samples := AttributeSamples(g)
+	if len(samples) != 3 {
+		t.Fatalf("expected 3 dims, got %d", len(samples))
+	}
+	for j, s := range samples {
+		if len(s) != 6*4 {
+			t.Fatalf("dim %d sample size %d, want 24", j, len(s))
+		}
+	}
+}
+
+func TestAttrJSDAndEMDSelfZero(t *testing.T) {
+	g := randomSequence(10, 2, 3, 15, 8)
+	if v := AttrJSD(g, g, 32); v > 1e-12 {
+		t.Fatalf("AttrJSD self = %g", v)
+	}
+	if v := AttrEMD(g, g); v > 1e-9 {
+		t.Fatalf("AttrEMD self = %g", v)
+	}
+}
+
+func TestAttrMetricsRankGenerators(t *testing.T) {
+	// A generator matching the attribute distribution must beat one that
+	// shifts it.
+	orig := randomSequence(40, 2, 3, 30, 9)
+	good := randomSequence(40, 2, 3, 30, 10)
+	bad := good.Clone()
+	for _, s := range bad.Snapshots {
+		for i := range s.X.Data {
+			s.X.Data[i] += 4
+		}
+	}
+	if AttrJSD(orig, good, 32) >= AttrJSD(orig, bad, 32) {
+		t.Fatal("JSD must prefer the matching generator")
+	}
+	if AttrEMD(orig, good) >= AttrEMD(orig, bad) {
+		t.Fatal("EMD must prefer the matching generator")
+	}
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func normalSample(n int, mu, sd float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sd*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestMMDIdenticalNearZero(t *testing.T) {
+	x := normalSample(100, 0, 1, 1)
+	if v := MMD(x, x, 1); v > 1e-10 {
+		t.Fatalf("MMD(x,x) = %g", v)
+	}
+}
+
+func TestMMDSeparatesDistributions(t *testing.T) {
+	x := normalSample(200, 0, 1, 1)
+	near := normalSample(200, 0.1, 1, 2)
+	far := normalSample(200, 5, 1, 3)
+	dNear := MMD(x, near, 1)
+	dFar := MMD(x, far, 1)
+	if dFar <= dNear {
+		t.Fatalf("MMD must grow with distribution distance: near=%g far=%g", dNear, dFar)
+	}
+}
+
+func TestMMDNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		x := normalSample(30, 0, 1, seed)
+		y := normalSample(30, 1, 2, seed+1)
+		return MMD(x, y, 0) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMDEmptyInputs(t *testing.T) {
+	if MMD(nil, []float64{1}, 1) != 0 || MMD([]float64{1}, nil, 1) != 0 {
+		t.Fatal("empty samples must give 0")
+	}
+}
+
+func TestHistogramNormalised(t *testing.T) {
+	h := Histogram([]float64{0, 0.5, 1, 1.5, 2}, 0, 2, 4)
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("histogram sums to %g", sum)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := Histogram([]float64{-100, 100}, 0, 1, 2)
+	if h[0] != 0.5 || h[1] != 0.5 {
+		t.Fatalf("clamping failed: %v", h)
+	}
+}
+
+func TestJSDProperties(t *testing.T) {
+	x := normalSample(500, 0, 1, 4)
+	y := normalSample(500, 0, 1, 5)
+	z := normalSample(500, 10, 1, 6)
+	same := JSD(x, y, 32)
+	diff := JSD(x, z, 32)
+	if same >= diff {
+		t.Fatalf("JSD(same)=%g must be < JSD(diff)=%g", same, diff)
+	}
+	if diff > 1+1e-9 {
+		t.Fatalf("JSD must be <= 1 (base-2), got %g", diff)
+	}
+	if JSD(x, x, 32) > 1e-12 {
+		t.Fatal("JSD(x,x) must be 0")
+	}
+}
+
+func TestJSDSymmetry(t *testing.T) {
+	x := normalSample(100, 0, 1, 7)
+	y := normalSample(100, 2, 1, 8)
+	if math.Abs(JSD(x, y, 16)-JSD(y, x, 16)) > 1e-12 {
+		t.Fatal("JSD must be symmetric")
+	}
+}
+
+func TestEMDShiftEqualsDistance(t *testing.T) {
+	x := normalSample(2000, 0, 1, 9)
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = x[i] + 3
+	}
+	got := EMD(x, y)
+	if math.Abs(got-3) > 0.05 {
+		t.Fatalf("EMD of 3-shift = %g, want ~3", got)
+	}
+}
+
+func TestEMDIdentityAndSymmetry(t *testing.T) {
+	x := normalSample(300, 1, 2, 10)
+	y := normalSample(300, 0, 1, 11)
+	if EMD(x, x) > 1e-9 {
+		t.Fatal("EMD(x,x) must be ~0")
+	}
+	if math.Abs(EMD(x, y)-EMD(y, x)) > 1e-9 {
+		t.Fatal("EMD must be symmetric")
+	}
+}
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 9, 16, 100} // monotone but nonlinear
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want 1", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := Spearman(x, rev); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want -1", got)
+	}
+}
+
+func TestSpearmanTiesAveraged(t *testing.T) {
+	x := []float64{1, 1, 2}
+	y := []float64{1, 1, 2}
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman with ties = %v", got)
+	}
+}
+
+func TestSpearmanIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 2000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	if got := Spearman(x, y); math.Abs(got) > 0.06 {
+		t.Fatalf("Spearman of independent samples = %v", got)
+	}
+}
+
+func TestSpearmanMatrixDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := make([][]float64, 50)
+	for i := range data {
+		a := rng.NormFloat64()
+		data[i] = []float64{a, 2 * a, rng.NormFloat64()}
+	}
+	m := SpearmanMatrix(data)
+	if m[0][0] != 1 || m[1][1] != 1 {
+		t.Fatal("diagonal must be 1")
+	}
+	if math.Abs(m[0][1]-1) > 1e-9 {
+		t.Fatalf("perfectly correlated columns: %v", m[0][1])
+	}
+	if math.Abs(m[0][1]-m[1][0]) > 1e-12 {
+		t.Fatal("matrix must be symmetric")
+	}
+}
+
+func TestSpearmanMAECorrelatedVsShuffled(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := 300
+	real := make([][]float64, n)
+	good := make([][]float64, n)
+	bad := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.NormFloat64()
+		real[i] = []float64{a, a + 0.1*rng.NormFloat64()}
+		b := rng.NormFloat64()
+		good[i] = []float64{b, b + 0.1*rng.NormFloat64()}
+		bad[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	gm := SpearmanMAE(real, good)
+	bm := SpearmanMAE(real, bad)
+	if gm >= bm {
+		t.Fatalf("correlation-preserving generator must score better: good=%g bad=%g", gm, bm)
+	}
+}

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+
+	"vrdag/internal/tensor"
+)
+
+// This file provides tape-free forward passes for inference. Generation
+// (Algorithm 1) never needs gradients, and skipping the tape removes all
+// bookkeeping allocations from the hot path. Equivalence with the taped
+// versions is covered by tests.
+
+// Forward computes x·W + b without recording gradients.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.MatMul(x, l.W.Value)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j, b := range l.B.Value.Data {
+			row[j] += b
+		}
+	}
+	return out
+}
+
+func applyActValue(m *tensor.Matrix, a Activation) *tensor.Matrix {
+	switch a {
+	case ActReLU:
+		return m.Apply(func(v float64) float64 { return math.Max(0, v) })
+	case ActLeakyReLU:
+		return m.Apply(func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0.2 * v
+		})
+	case ActTanh:
+		return m.Apply(math.Tanh)
+	case ActSigmoid:
+		return m.Apply(tensor.Sigmoid)
+	default:
+		return m
+	}
+}
+
+// Forward runs the MLP without recording gradients.
+func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for i, l := range m.Layers {
+		x = l.Forward(x)
+		if i+1 < len(m.Layers) {
+			x = applyActValue(x, m.Hidden)
+		} else {
+			x = applyActValue(x, m.OutAct)
+		}
+	}
+	return x
+}
+
+// Forward computes one GRU update without recording gradients.
+func (g *GRUCell) Forward(x, h *tensor.Matrix) *tensor.Matrix {
+	lin := func(w, u *Param, b *Param) *tensor.Matrix {
+		out := tensor.MatMul(x, w.Value)
+		out.AddInPlace(tensor.MatMul(h, u.Value))
+		for i := 0; i < out.Rows; i++ {
+			row := out.Row(i)
+			for j, bv := range b.Value.Data {
+				row[j] += bv
+			}
+		}
+		return out
+	}
+	z := lin(g.Wz, g.Uz, g.Bz).Apply(tensor.Sigmoid)
+	r := lin(g.Wr, g.Ur, g.Br).Apply(tensor.Sigmoid)
+	rh := h.Clone()
+	for i := range rh.Data {
+		rh.Data[i] *= r.Data[i]
+	}
+	ht := tensor.MatMul(x, g.Wh.Value)
+	ht.AddInPlace(tensor.MatMul(rh, g.Uh.Value))
+	for i := 0; i < ht.Rows; i++ {
+		row := ht.Row(i)
+		for j, bv := range g.Bh.Value.Data {
+			row[j] += bv
+		}
+	}
+	ht = ht.Apply(math.Tanh)
+	out := h.Clone()
+	for i := range out.Data {
+		out.Data[i] += z.Data[i] * (ht.Data[i] - out.Data[i])
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+// Package nn provides neural-network building blocks on top of the tensor
+// autodiff engine: linear layers, multi-layer perceptrons, a GRU cell, the
+// Time2Vec temporal embedding, parameter collection, and the Adam optimizer.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vrdag/internal/tensor"
+)
+
+// Param is a named trainable matrix together with its Adam state.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	m, v  *tensor.Matrix // Adam first/second moments
+}
+
+// Module is anything exposing trainable parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// CollectParams flattens the parameters of several modules.
+func CollectParams(mods ...Module) []*Param {
+	var out []*Param
+	for _, m := range mods {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total scalar parameter count across modules.
+func NumParams(mods ...Module) int {
+	n := 0
+	for _, p := range CollectParams(mods...) {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// xavier returns the Glorot-uniform bound for a fanIn×fanOut weight.
+func xavier(fanIn, fanOut int) float64 {
+	return math.Sqrt(6.0 / float64(fanIn+fanOut))
+}
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W, B *Param
+	In   int
+	Out  int
+}
+
+// NewLinear creates a Glorot-initialised linear layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	bound := xavier(in, out)
+	return &Linear{
+		W:   &Param{Name: name + ".W", Value: tensor.RandUniform(in, out, -bound, bound, rng)},
+		B:   &Param{Name: name + ".b", Value: tensor.New(1, out)},
+		In:  in,
+		Out: out,
+	}
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Apply computes x·W + b on the tape.
+func (l *Linear) Apply(c *Ctx, x *tensor.Node) *tensor.Node {
+	t := c.Tape
+	return t.AddRowVec(t.MatMul(x, c.Var(l.W)), c.Var(l.B))
+}
+
+// Activation selects the nonlinearity used between MLP layers.
+type Activation int
+
+// Supported activations.
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActLeakyReLU
+	ActTanh
+	ActSigmoid
+)
+
+func applyAct(t *tensor.Tape, x *tensor.Node, a Activation) *tensor.Node {
+	switch a {
+	case ActReLU:
+		return t.ReLU(x)
+	case ActLeakyReLU:
+		return t.LeakyReLU(x, 0.2)
+	case ActTanh:
+		return t.Tanh(x)
+	case ActSigmoid:
+		return t.Sigmoid(x)
+	default:
+		return x
+	}
+}
+
+// MLP is a stack of linear layers with a shared hidden activation. The
+// output layer applies OutAct (ActNone by default).
+type MLP struct {
+	Layers []*Linear
+	Hidden Activation
+	OutAct Activation
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes = [in, h, out].
+func NewMLP(name string, sizes []int, hidden Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: NewMLP needs >=2 sizes, got %v", sizes))
+	}
+	m := &MLP{Hidden: hidden}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(fmt.Sprintf("%s.l%d", name, i), sizes[i], sizes[i+1], rng))
+	}
+	return m
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*Param {
+	var out []*Param
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Apply runs the MLP forward on the tape.
+func (m *MLP) Apply(c *Ctx, x *tensor.Node) *tensor.Node {
+	for i, l := range m.Layers {
+		x = l.Apply(c, x)
+		if i+1 < len(m.Layers) {
+			x = applyAct(c.Tape, x, m.Hidden)
+		} else {
+			x = applyAct(c.Tape, x, m.OutAct)
+		}
+	}
+	return x
+}
+
+// GRUCell is a standard gated recurrent unit operating on row-batched
+// states: given input X (N×in) and hidden H (N×hidden) it returns the
+// updated hidden state (N×hidden).
+type GRUCell struct {
+	Wz, Wr, Wh *Param // in×hidden
+	Uz, Ur, Uh *Param // hidden×hidden
+	Bz, Br, Bh *Param // 1×hidden
+	InDim      int
+	HiddenDim  int
+}
+
+// NewGRUCell creates a Glorot-initialised GRU cell.
+func NewGRUCell(name string, in, hidden int, rng *rand.Rand) *GRUCell {
+	w := func(suffix string, r, c int) *Param {
+		bound := xavier(r, c)
+		return &Param{Name: name + "." + suffix, Value: tensor.RandUniform(r, c, -bound, bound, rng)}
+	}
+	b := func(suffix string) *Param {
+		return &Param{Name: name + "." + suffix, Value: tensor.New(1, hidden)}
+	}
+	return &GRUCell{
+		Wz: w("Wz", in, hidden), Wr: w("Wr", in, hidden), Wh: w("Wh", in, hidden),
+		Uz: w("Uz", hidden, hidden), Ur: w("Ur", hidden, hidden), Uh: w("Uh", hidden, hidden),
+		Bz: b("bz"), Br: b("br"), Bh: b("bh"),
+		InDim: in, HiddenDim: hidden,
+	}
+}
+
+// Params implements Module.
+func (g *GRUCell) Params() []*Param {
+	return []*Param{g.Wz, g.Wr, g.Wh, g.Uz, g.Ur, g.Uh, g.Bz, g.Br, g.Bh}
+}
+
+// Step computes one GRU update on the tape.
+func (g *GRUCell) Step(c *Ctx, x, h *tensor.Node) *tensor.Node {
+	t := c.Tape
+	wz, wr, wh := c.Var(g.Wz), c.Var(g.Wr), c.Var(g.Wh)
+	uz, ur, uh := c.Var(g.Uz), c.Var(g.Ur), c.Var(g.Uh)
+	bz, br, bh := c.Var(g.Bz), c.Var(g.Br), c.Var(g.Bh)
+
+	z := t.Sigmoid(t.AddRowVec(t.Add(t.MatMul(x, wz), t.MatMul(h, uz)), bz))
+	r := t.Sigmoid(t.AddRowVec(t.Add(t.MatMul(x, wr), t.MatMul(h, ur)), br))
+	hTilde := t.Tanh(t.AddRowVec(t.Add(t.MatMul(x, wh), t.MatMul(t.Mul(r, h), uh)), bh))
+	// h' = (1-z)⊙h + z⊙h̃ = h + z⊙(h̃ - h)
+	return t.Add(h, t.Mul(z, t.Sub(hTilde, h)))
+}
+
+// Time2Vec implements the temporal embedding of Kazemi et al. (Eq. 13):
+// the first component is linear in t, the rest are sin(w_r t + φ_r).
+type Time2Vec struct {
+	W, Phi *Param // 1×dim each
+	Dim    int
+}
+
+// NewTime2Vec creates a Time2Vec embedding of the given dimensionality.
+func NewTime2Vec(name string, dim int, rng *rand.Rand) *Time2Vec {
+	return &Time2Vec{
+		W:   &Param{Name: name + ".w", Value: tensor.RandUniform(1, dim, -1, 1, rng)},
+		Phi: &Param{Name: name + ".phi", Value: tensor.RandUniform(1, dim, -math.Pi, math.Pi, rng)},
+		Dim: dim,
+	}
+}
+
+// Params implements Module.
+func (tv *Time2Vec) Params() []*Param { return []*Param{tv.W, tv.Phi} }
+
+// Encode returns fT(t) as a 1×dim tape node; in training contexts the
+// gradients flow into W and Phi. Component 0 is linear in t, the others
+// are sin(w_r t + φ_r) per Eq. (13).
+func (tv *Time2Vec) Encode(c *Ctx, tt float64) *tensor.Node {
+	t := c.Tape
+	w := c.Var(tv.W)
+	phi := c.Var(tv.Phi)
+	// arg = w*t + phi
+	arg := t.Add(t.Scale(w, tt), phi)
+	// Split: component 0 is linear, components 1..dim-1 pass through sin.
+	if tv.Dim == 1 {
+		return arg
+	}
+	lin := t.SliceCols(arg, 0, 1)
+	per := t.SliceCols(arg, 1, tv.Dim)
+	return t.ConcatCols(lin, t.Sin(per))
+}
+
+// EncodeValue returns fT(t) as a plain matrix without recording gradients
+// (used during inference).
+func (tv *Time2Vec) EncodeValue(tt float64) *tensor.Matrix {
+	out := tensor.New(1, tv.Dim)
+	for j := 0; j < tv.Dim; j++ {
+		a := tv.W.Value.Data[j]*tt + tv.Phi.Value.Data[j]
+		if j == 0 {
+			out.Data[j] = a
+		} else {
+			out.Data[j] = math.Sin(a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrices(n int) (*Matrix, *Matrix) {
+	rng := rand.New(rand.NewSource(1))
+	return Randn(n, n, 1, rng), Randn(n, n, 1, rng)
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x, y := benchMatrices(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	x, y := benchMatrices(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1024
+	var ri, ci []int
+	for i := 0; i < n*8; i++ {
+		ri = append(ri, rng.Intn(n))
+		ci = append(ci, rng.Intn(n))
+	}
+	s := NewCSR(n, n, ri, ci, nil)
+	d := Randn(n, 32, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MulDense(d)
+	}
+}
+
+func BenchmarkTapeForwardBackwardMLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	w1 := Randn(32, 64, 0.1, rng)
+	w2 := Randn(64, 8, 0.1, rng)
+	x := Randn(128, 32, 1, rng)
+	y := Randn(128, 8, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := NewTape()
+		a := tp.Var(w1)
+		c := tp.Var(w2)
+		h := tp.Tanh(tp.MatMul(tp.Const(x), a))
+		out := tp.MatMul(h, c)
+		tp.Backward(tp.MSELoss(out, y))
+	}
+}
+
+func BenchmarkSegmentSoftmax(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	e := 8192
+	scores := Randn(e, 1, 1, rng)
+	seg := make([]int, e)
+	for i := range seg {
+		seg[i] = rng.Intn(512)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := NewTape()
+		tp.SegmentSoftmax(tp.Const(scores), seg, 512)
+	}
+}

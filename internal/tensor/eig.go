@@ -1,0 +1,114 @@
+package tensor
+
+import "math"
+
+// SymEig computes the eigendecomposition of a symmetric n×n matrix
+// (row-major) with the cyclic Jacobi method: a = V·diag(w)·Vᵀ. It returns
+// the eigenvalues w and the eigenvector matrix V (columns are
+// eigenvectors). The input slice is not modified. Intended for the small
+// (F ≤ a few dozen) correlation matrices used in attribute calibration.
+func SymEig(a []float64, n int) (w []float64, v []float64) {
+	m := make([]float64, n*n)
+	copy(m, a)
+	v = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += m[p*n+q] * m[p*n+q]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// rotate rows/cols p and q of m
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k*n+p], m[k*n+q]
+					m[k*n+p] = c*mkp - s*mkq
+					m[k*n+q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p*n+k], m[q*n+k]
+					m[p*n+k] = c*mpk - s*mqk
+					m[q*n+k] = s*mpk + c*mqk
+				}
+				// accumulate eigenvectors
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m[i*n+i]
+	}
+	return w, v
+}
+
+// NearestCorrelation projects a symmetric matrix onto the set of valid
+// correlation matrices: negative eigenvalues are clipped to zero and the
+// diagonal is renormalised to one. Returns the projected matrix
+// (row-major n×n).
+func NearestCorrelation(a []float64, n int) []float64 {
+	// symmetrize first
+	sym := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sym[i*n+j] = (a[i*n+j] + a[j*n+i]) / 2
+		}
+	}
+	w, v := SymEig(sym, n)
+	for i := range w {
+		if w[i] < 0 {
+			w[i] = 0
+		}
+	}
+	// reconstruct V diag(w) Vᵀ
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				acc += v[i*n+k] * w[k] * v[j*n+k]
+			}
+			out[i*n+j] = acc
+		}
+	}
+	// renormalise diagonal to 1 (guarding degenerate rows)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if out[i*n+i] > 1e-12 {
+			d[i] = 1 / math.Sqrt(out[i*n+i])
+		} else {
+			d[i] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				out[i*n+j] = 1
+			} else {
+				out[i*n+j] *= d[i] * d[j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := []float64{3, 0, 0, 7}
+	w, v := SymEig(a, 2)
+	vals := map[float64]bool{}
+	for _, x := range w {
+		vals[math.Round(x)] = true
+	}
+	if !vals[3] || !vals[7] {
+		t.Fatalf("eigenvalues = %v, want {3,7}", w)
+	}
+	// eigenvectors orthonormal
+	dot := v[0]*v[1] + v[2]*v[3]
+	if math.Abs(dot) > 1e-10 {
+		t.Fatalf("eigenvectors not orthogonal: %v", v)
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				x := rng.NormFloat64()
+				a[i*n+j] = x
+				a[j*n+i] = x
+			}
+		}
+		w, v := SymEig(a, n)
+		// rebuild and compare
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc := 0.0
+				for k := 0; k < n; k++ {
+					acc += v[i*n+k] * w[k] * v[j*n+k]
+				}
+				if math.Abs(acc-a[i*n+j]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 6
+	a := make([]float64, n*n)
+	trace := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			x := rng.NormFloat64()
+			a[i*n+j], a[j*n+i] = x, x
+		}
+		trace += a[i*n+i]
+	}
+	w, _ := SymEig(a, n)
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-trace) > 1e-9 {
+		t.Fatalf("eigenvalue sum %g != trace %g", sum, trace)
+	}
+}
+
+func TestNearestCorrelationIdempotentOnValid(t *testing.T) {
+	// A valid correlation matrix must pass through unchanged.
+	a := []float64{1, 0.5, 0.5, 1}
+	out := NearestCorrelation(a, 2)
+	for i := range a {
+		if math.Abs(out[i]-a[i]) > 1e-9 {
+			t.Fatalf("valid matrix changed: %v -> %v", a, out)
+		}
+	}
+}
+
+func TestNearestCorrelationFixesIndefinite(t *testing.T) {
+	// corr(0,1)=0.9, corr(0,2)=0.9, corr(1,2)=-0.9 is not PSD.
+	a := []float64{
+		1, 0.9, 0.9,
+		0.9, 1, -0.9,
+		0.9, -0.9, 1,
+	}
+	out := NearestCorrelation(a, 3)
+	w, _ := SymEig(out, 3)
+	for _, x := range w {
+		if x < -1e-9 {
+			t.Fatalf("projection left negative eigenvalue %g", x)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(out[i*3+i]-1) > 1e-9 {
+			t.Fatalf("diagonal not 1: %v", out)
+		}
+	}
+	// off-diagonals stay in [-1, 1]
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if out[i*3+j] > 1+1e-9 || out[i*3+j] < -1-1e-9 {
+				t.Fatalf("entry out of range: %v", out)
+			}
+		}
+	}
+}

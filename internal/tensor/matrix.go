@@ -1,0 +1,358 @@
+// Package tensor provides dense float64 matrices and a reverse-mode
+// automatic differentiation engine sufficient for training graph neural
+// networks with the Go standard library only.
+//
+// The package has two layers:
+//
+//   - Matrix: a plain row-major dense matrix with BLAS-like kernels
+//     (MatMul, axpy-style updates, elementwise maps).
+//   - Tape / Node: a dynamic computation graph recorded op-by-op; calling
+//     Tape.Backward walks the graph in reverse topological order and
+//     accumulates vector-Jacobian products into Node.Grad.
+//
+// All shapes are two dimensional. Vectors are represented as 1×n or n×1
+// matrices; scalars as 1×1. This matches what the VRDAG model needs while
+// keeping indexing predictable and allocation-friendly.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-initialised matrix with the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a matrix. The slice is used directly,
+// not copied; len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic("tensor: FromRows ragged input")
+		}
+		copy(m.Data[i*c:(i+1)*c], r)
+	}
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Full returns a rows×cols matrix with every entry set to v.
+func Full(rows, cols int, v float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+	return m
+}
+
+// Randn fills a new matrix with N(0, std²) samples from rng.
+func Randn(rows, cols int, std float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// RandUniform fills a new matrix with Uniform(lo, hi) samples from rng.
+func RandUniform(rows, cols int, lo, hi float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets every entry of m to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func (m *Matrix) shape() string { return fmt.Sprintf("%dx%d", m.Rows, m.Cols) }
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix(%s)[", m.shape())
+	n := len(m.Data)
+	if n > 16 {
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4g", m.Data[i])
+	}
+	if n < len(m.Data) {
+		s += " ..."
+	}
+	return s + "]"
+}
+
+// AddInPlace adds o into m elementwise.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %s vs %s", m.shape(), o.shape()))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every entry of m by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Axpy performs m += a*o elementwise.
+func (m *Matrix) Axpy(a float64, o *Matrix) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Axpy shape mismatch %s vs %s", m.shape(), o.shape()))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// MatMul returns a*b using a cache-friendly ikj loop order. Large
+// products (≥ parallelThreshold result rows with enough work per row)
+// fan out across GOMAXPROCS goroutines; the row partition is
+// deterministic, so results are bit-identical to the serial path.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %s x %s", a.shape(), b.shape()))
+	}
+	out := New(a.Rows, b.Cols)
+	if a.Rows >= parallelThreshold && a.Cols*b.Cols >= 4096 {
+		parallelRows(a.Rows, func(lo, hi int) {
+			sub := &Matrix{Rows: hi - lo, Cols: a.Cols, Data: a.Data[lo*a.Cols : hi*a.Cols]}
+			osub := &Matrix{Rows: hi - lo, Cols: b.Cols, Data: out.Data[lo*b.Cols : hi*b.Cols]}
+			matMulInto(osub, sub, b, false, false)
+		})
+		return out
+	}
+	matMulInto(out, a, b, false, false)
+	return out
+}
+
+// parallelThreshold is the minimum row count before MatMul fans out.
+const parallelThreshold = 128
+
+// parallelRows splits [0, n) into contiguous chunks, one per worker.
+func parallelRows(n int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulInto computes out += opA(a) * opB(b) where opX transposes when the
+// corresponding flag is set. out must be pre-shaped; it is accumulated into.
+func matMulInto(out, a, b *Matrix, ta, tb bool) {
+	switch {
+	case !ta && !tb: // (m,k)x(k,n)
+		m, k, n := a.Rows, a.Cols, b.Cols
+		for i := 0; i < m; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	case ta && !tb: // (k,m)^T x (k,n)
+		m, k, n := a.Cols, a.Rows, b.Cols
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := 0; i < m; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	case !ta && tb: // (m,k) x (n,k)^T
+		m, k, n := a.Rows, a.Cols, b.Rows
+		for i := 0; i < m; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				orow[j] += s
+			}
+		}
+	default: // ta && tb: (k,m)^T x (n,k)^T = (m,n)
+		m, k, n := a.Cols, a.Rows, b.Rows
+		for i := 0; i < m; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += a.Data[p*m+i] * brow[p]
+				}
+				orow[j] += s
+			}
+		}
+	}
+}
+
+// Transpose returns a copy of mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Apply returns a new matrix with f applied elementwise.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all entries.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all entries (0 for an empty matrix).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// MaxAbs returns max |m_ij|, useful for gradient diagnostics.
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether m and o agree within tol elementwise.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if !m.SameShape(o) {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package tensor
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix used for graph adjacency in message
+// passing. Values default to 1.0 (unweighted edges) but arbitrary weights are
+// supported. CSR matrices are constants with respect to autodiff: gradients
+// never flow into the sparsity pattern or the values.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1
+	ColIdx     []int     // len nnz
+	Val        []float64 // len nnz
+}
+
+// NewCSR assembles a CSR matrix from coordinate-format triplets. Duplicate
+// coordinates are kept as separate entries (their effects add under SpMM).
+func NewCSR(rows, cols int, ri, ci []int, val []float64) *CSR {
+	if len(ri) != len(ci) {
+		panic("tensor: NewCSR len(ri) != len(ci)")
+	}
+	if val != nil && len(val) != len(ri) {
+		panic("tensor: NewCSR len(val) != len(ri)")
+	}
+	counts := make([]int, rows+1)
+	for _, r := range ri {
+		if r < 0 || r >= rows {
+			panic(fmt.Sprintf("tensor: NewCSR row %d out of range [0,%d)", r, rows))
+		}
+		counts[r+1]++
+	}
+	for i := 0; i < rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	rowPtr := counts
+	colIdx := make([]int, len(ri))
+	vals := make([]float64, len(ri))
+	next := make([]int, rows)
+	copy(next, rowPtr[:rows])
+	for k, r := range ri {
+		c := ci[k]
+		if c < 0 || c >= cols {
+			panic(fmt.Sprintf("tensor: NewCSR col %d out of range [0,%d)", c, cols))
+		}
+		p := next[r]
+		next[r]++
+		colIdx[p] = c
+		if val != nil {
+			vals[p] = val[k]
+		} else {
+			vals[p] = 1
+		}
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: vals}
+}
+
+// NNZ returns the number of stored entries.
+func (s *CSR) NNZ() int { return len(s.ColIdx) }
+
+// MulDense returns s * d as a dense matrix.
+func (s *CSR) MulDense(d *Matrix) *Matrix {
+	if s.Cols != d.Rows {
+		panic(fmt.Sprintf("tensor: CSR.MulDense shape mismatch %dx%d x %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
+	}
+	out := New(s.Rows, d.Cols)
+	s.mulDenseInto(out, d)
+	return out
+}
+
+func (s *CSR) mulDenseInto(out, d *Matrix) {
+	n := d.Cols
+	for i := 0; i < s.Rows; i++ {
+		orow := out.Data[i*n : (i+1)*n]
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			j, w := s.ColIdx[p], s.Val[p]
+			drow := d.Data[j*n : (j+1)*n]
+			for c := 0; c < n; c++ {
+				orow[c] += w * drow[c]
+			}
+		}
+	}
+}
+
+// MulDenseT returns sᵀ * d as a dense matrix (scatter form, no explicit
+// transpose materialisation).
+func (s *CSR) MulDenseT(d *Matrix) *Matrix {
+	if s.Rows != d.Rows {
+		panic(fmt.Sprintf("tensor: CSR.MulDenseT shape mismatch %dx%d^T x %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
+	}
+	out := New(s.Cols, d.Cols)
+	n := d.Cols
+	for i := 0; i < s.Rows; i++ {
+		drow := d.Data[i*n : (i+1)*n]
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			j, w := s.ColIdx[p], s.Val[p]
+			orow := out.Data[j*n : (j+1)*n]
+			for c := 0; c < n; c++ {
+				orow[c] += w * drow[c]
+			}
+		}
+	}
+	return out
+}
+
+// Dense materialises the CSR matrix as a dense Matrix (testing helper).
+func (s *CSR) Dense() *Matrix {
+	out := New(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			out.Data[i*s.Cols+s.ColIdx[p]] += s.Val[p]
+		}
+	}
+	return out
+}
+
+// Transpose returns a new CSR holding sᵀ.
+func (s *CSR) Transpose() *CSR {
+	ri := make([]int, 0, s.NNZ())
+	ci := make([]int, 0, s.NNZ())
+	val := make([]float64, 0, s.NNZ())
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			ri = append(ri, s.ColIdx[p])
+			ci = append(ci, i)
+			val = append(val, s.Val[p])
+		}
+	}
+	return NewCSR(s.Cols, s.Rows, ri, ci, val)
+}

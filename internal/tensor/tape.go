@@ -1,0 +1,85 @@
+package tensor
+
+import "fmt"
+
+// Node is a value in the computation graph. Value is always populated;
+// Grad is lazily allocated for nodes that require gradients. The backward
+// closure, when invoked, propagates this node's Grad into its parents.
+type Node struct {
+	Value    *Matrix
+	Grad     *Matrix
+	needGrad bool
+	backward func()
+}
+
+// RequiresGrad reports whether gradients are tracked for this node.
+func (n *Node) RequiresGrad() bool { return n.needGrad }
+
+// grad returns the gradient buffer, allocating it on first use.
+func (n *Node) grad() *Matrix {
+	if n.Grad == nil {
+		n.Grad = New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.Grad
+}
+
+// Tape records operations for reverse-mode differentiation. Operations are
+// replayed in reverse order by Backward. A Tape is not safe for concurrent
+// use; build one per training step (or reuse after Reset).
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded operations so the tape can be reused.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len returns the number of recorded nodes (diagnostics).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// record appends a node to the tape and returns it.
+func (t *Tape) record(v *Matrix, needGrad bool, backward func()) *Node {
+	n := &Node{Value: v, needGrad: needGrad, backward: backward}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Const wraps a matrix as a node that does not require gradients.
+func (t *Tape) Const(m *Matrix) *Node {
+	return t.record(m, false, nil)
+}
+
+// Var wraps a matrix as a differentiable leaf (parameter or input requiring
+// gradients). The matrix is used directly, not copied, so parameter updates
+// outside the tape are observed by subsequent forward passes.
+func (t *Tape) Var(m *Matrix) *Node {
+	return t.record(m, true, nil)
+}
+
+// Backward seeds the gradient of loss (which must be 1×1) with 1 and
+// propagates gradients through every recorded operation in reverse order.
+// Gradients accumulate into Node.Grad; call ZeroGrads between steps.
+func (t *Tape) Backward(loss *Node) {
+	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
+		panic(fmt.Sprintf("tensor: Backward requires scalar loss, got %s", loss.Value.shape()))
+	}
+	loss.grad().Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.needGrad && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// anyGrad reports whether any of the inputs require gradients.
+func anyGrad(ns ...*Node) bool {
+	for _, n := range ns {
+		if n.needGrad {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,328 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGrad approximates d loss/d m[i] by central differences, where
+// forward rebuilds the computation from scratch on a fresh tape.
+func numericGrad(m *Matrix, forward func() float64) *Matrix {
+	const h = 1e-5
+	g := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		orig := m.Data[i]
+		m.Data[i] = orig + h
+		up := forward()
+		m.Data[i] = orig - h
+		down := forward()
+		m.Data[i] = orig
+		g.Data[i] = (up - down) / (2 * h)
+	}
+	return g
+}
+
+// checkGrad runs forward once with gradients, then compares against
+// finite differences for every listed parameter.
+func checkGrad(t *testing.T, params []*Matrix, build func(tp *Tape, vars []*Node) *Node) {
+	t.Helper()
+	tp := NewTape()
+	vars := make([]*Node, len(params))
+	for i, p := range params {
+		vars[i] = tp.Var(p)
+	}
+	loss := build(tp, vars)
+	tp.Backward(loss)
+
+	forward := func() float64 {
+		tp2 := NewTape()
+		vs := make([]*Node, len(params))
+		for i, p := range params {
+			vs[i] = tp2.Var(p)
+		}
+		return build(tp2, vs).Value.Data[0]
+	}
+	for pi, p := range params {
+		want := numericGrad(p, forward)
+		got := vars[pi].Grad
+		if got == nil {
+			got = New(p.Rows, p.Cols)
+		}
+		for i := range want.Data {
+			diff := math.Abs(want.Data[i] - got.Data[i])
+			scale := math.Max(1, math.Abs(want.Data[i]))
+			if diff/scale > 1e-4 {
+				t.Fatalf("param %d entry %d: analytic %g vs numeric %g", pi, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func rnd(rows, cols int, seed int64) *Matrix {
+	return Randn(rows, cols, 0.7, rand.New(rand.NewSource(seed)))
+}
+
+func TestGradAdd(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(3, 2, 1), rnd(3, 2, 2)}, func(tp *Tape, v []*Node) *Node {
+		return tp.MeanAll(tp.Mul(tp.Add(v[0], v[1]), tp.Add(v[0], v[1])))
+	})
+}
+
+func TestGradSub(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(2, 3, 3), rnd(2, 3, 4)}, func(tp *Tape, v []*Node) *Node {
+		d := tp.Sub(v[0], v[1])
+		return tp.SumAll(tp.Mul(d, d))
+	})
+}
+
+func TestGradMatMul(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(3, 4, 5), rnd(4, 2, 6)}, func(tp *Tape, v []*Node) *Node {
+		return tp.SumAll(tp.Tanh(tp.MatMul(v[0], v[1])))
+	})
+}
+
+func TestGradSigmoidTanhRelu(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(2, 5, 7)}, func(tp *Tape, v []*Node) *Node {
+		a := tp.Sigmoid(v[0])
+		b := tp.Tanh(v[0])
+		c := tp.LeakyReLU(v[0], 0.1)
+		return tp.SumAll(tp.Add(tp.Mul(a, b), c))
+	})
+}
+
+func TestGradExpLog(t *testing.T) {
+	m := rnd(2, 3, 8).Apply(func(v float64) float64 { return math.Abs(v) + 0.5 })
+	checkGrad(t, []*Matrix{m}, func(tp *Tape, v []*Node) *Node {
+		return tp.SumAll(tp.Log(tp.Exp(v[0])))
+	})
+}
+
+func TestGradSoftmaxRows(t *testing.T) {
+	w := rnd(3, 4, 99)
+	checkGrad(t, []*Matrix{rnd(3, 4, 9)}, func(tp *Tape, v []*Node) *Node {
+		s := tp.SoftmaxRows(v[0])
+		return tp.SumAll(tp.Mul(s, tp.Const(w)))
+	})
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	tp := NewTape()
+	s := tp.SoftmaxRows(tp.Const(rnd(5, 7, 10)))
+	for i := 0; i < 5; i++ {
+		sum := 0.0
+		for _, v := range s.Value.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestGradAddRowVec(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(4, 3, 11), rnd(1, 3, 12)}, func(tp *Tape, v []*Node) *Node {
+		return tp.SumAll(tp.Sigmoid(tp.AddRowVec(v[0], v[1])))
+	})
+}
+
+func TestGradMulColVec(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(4, 3, 13), rnd(4, 1, 14)}, func(tp *Tape, v []*Node) *Node {
+		return tp.SumAll(tp.Tanh(tp.MulColVec(v[0], v[1])))
+	})
+}
+
+func TestGradConcatSlice(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(3, 2, 15), rnd(3, 4, 16)}, func(tp *Tape, v []*Node) *Node {
+		c := tp.ConcatCols(v[0], v[1])
+		left := tp.SliceCols(c, 0, 3)
+		right := tp.SliceCols(c, 3, 6)
+		return tp.SumAll(tp.Mul(left, right))
+	})
+}
+
+func TestGradGatherScatter(t *testing.T) {
+	idx := []int{2, 0, 2, 1}
+	checkGrad(t, []*Matrix{rnd(3, 2, 17)}, func(tp *Tape, v []*Node) *Node {
+		g := tp.GatherRows(v[0], idx)
+		s := tp.ScatterAddRows(g, []int{0, 1, 1, 2}, 3)
+		return tp.SumAll(tp.Sigmoid(s))
+	})
+}
+
+func TestGradSpMM(t *testing.T) {
+	s := NewCSR(3, 3, []int{0, 1, 1, 2}, []int{1, 0, 2, 2}, nil)
+	checkGrad(t, []*Matrix{rnd(3, 2, 18)}, func(tp *Tape, v []*Node) *Node {
+		return tp.SumAll(tp.Tanh(tp.SpMM(s, v[0])))
+	})
+}
+
+func TestGradSegmentSoftmax(t *testing.T) {
+	seg := []int{0, 0, 1, 1, 1}
+	w := rnd(5, 1, 20)
+	checkGrad(t, []*Matrix{rnd(5, 1, 19)}, func(tp *Tape, v []*Node) *Node {
+		s := tp.SegmentSoftmax(v[0], seg, 2)
+		return tp.SumAll(tp.Mul(s, tp.Const(w)))
+	})
+}
+
+func TestSegmentSoftmaxNormalised(t *testing.T) {
+	tp := NewTape()
+	seg := []int{0, 1, 0, 1, 0}
+	s := tp.SegmentSoftmax(tp.Const(rnd(5, 1, 21)), seg, 2)
+	sums := make([]float64, 2)
+	for k, sg := range seg {
+		sums[sg] += s.Value.Data[k]
+	}
+	for i, v := range sums {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("segment %d sums to %g", i, v)
+		}
+	}
+}
+
+func TestGradSumRowsAndReductions(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(3, 4, 22)}, func(tp *Tape, v []*Node) *Node {
+		r := tp.SumRows(tp.Mul(v[0], v[0]))
+		return tp.MeanAll(r)
+	})
+}
+
+func TestGradBCEWithLogits(t *testing.T) {
+	targets := FromSlice(2, 3, []float64{1, 0, 1, 0, 1, 0})
+	checkGrad(t, []*Matrix{rnd(2, 3, 23)}, func(tp *Tape, v []*Node) *Node {
+		return tp.BCEWithLogits(v[0], targets)
+	})
+}
+
+func TestGradBCEProb(t *testing.T) {
+	targets := FromSlice(2, 2, []float64{1, 0, 0, 1})
+	probs := FromSlice(2, 2, []float64{0.7, 0.3, 0.4, 0.9})
+	checkGrad(t, []*Matrix{probs}, func(tp *Tape, v []*Node) *Node {
+		return tp.BCEProb(v[0], targets)
+	})
+}
+
+func TestGradSCELoss(t *testing.T) {
+	x := rnd(3, 4, 24)
+	checkGrad(t, []*Matrix{rnd(3, 4, 25)}, func(tp *Tape, v []*Node) *Node {
+		return tp.SCELoss(v[0], x, 2)
+	})
+}
+
+func TestGradMSELoss(t *testing.T) {
+	x := rnd(3, 4, 26)
+	checkGrad(t, []*Matrix{rnd(3, 4, 27)}, func(tp *Tape, v []*Node) *Node {
+		return tp.MSELoss(v[0], x)
+	})
+}
+
+func TestGradGaussianKL(t *testing.T) {
+	params := []*Matrix{rnd(2, 3, 28), rnd(2, 3, 29), rnd(2, 3, 30), rnd(2, 3, 31)}
+	checkGrad(t, params, func(tp *Tape, v []*Node) *Node {
+		return tp.GaussianKL(v[0], v[1], v[2], v[3])
+	})
+}
+
+func TestGaussianKLZeroForIdenticalDistributions(t *testing.T) {
+	tp := NewTape()
+	mu := tp.Const(rnd(2, 4, 32))
+	ls := tp.Const(rnd(2, 4, 33))
+	kl := tp.GaussianKL(mu, ls, mu, ls)
+	if math.Abs(kl.Value.Data[0]) > 1e-10 {
+		t.Fatalf("KL(q||q) = %g, want 0", kl.Value.Data[0])
+	}
+}
+
+func TestGaussianKLNonNegative(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tp := NewTape()
+		kl := tp.GaussianKL(
+			tp.Const(rnd(2, 3, seed)), tp.Const(rnd(2, 3, seed+100)),
+			tp.Const(rnd(2, 3, seed+200)), tp.Const(rnd(2, 3, seed+300)))
+		if kl.Value.Data[0] < -1e-10 {
+			t.Fatalf("seed %d: KL = %g < 0", seed, kl.Value.Data[0])
+		}
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar loss")
+		}
+	}()
+	tp := NewTape()
+	v := tp.Var(rnd(2, 2, 34))
+	tp.Backward(v)
+}
+
+func TestConstReceivesNoGrad(t *testing.T) {
+	tp := NewTape()
+	c := tp.Const(rnd(2, 2, 35))
+	v := tp.Var(rnd(2, 2, 36))
+	loss := tp.SumAll(tp.Mul(c, v))
+	tp.Backward(loss)
+	if c.Grad != nil {
+		t.Fatal("const node must not accumulate gradient")
+	}
+	if v.Grad == nil {
+		t.Fatal("var node must accumulate gradient")
+	}
+}
+
+func TestGradAccumulationAcrossUses(t *testing.T) {
+	// y = sum(x) + sum(x) must give grad 2 everywhere.
+	m := rnd(2, 2, 37)
+	tp := NewTape()
+	v := tp.Var(m)
+	loss := tp.Add(tp.SumAll(v), tp.SumAll(v))
+	tp.Backward(loss)
+	for _, g := range v.Grad.Data {
+		if math.Abs(g-2) > 1e-12 {
+			t.Fatalf("grad = %v, want 2", g)
+		}
+	}
+}
+
+func TestTapeResetReuse(t *testing.T) {
+	tp := NewTape()
+	m := rnd(2, 2, 38)
+	v := tp.Var(m)
+	tp.Backward(tp.SumAll(v))
+	if tp.Len() == 0 {
+		t.Fatal("tape should contain nodes")
+	}
+	tp.Reset()
+	if tp.Len() != 0 {
+		t.Fatal("Reset must clear the tape")
+	}
+	v2 := tp.Var(m)
+	tp.Backward(tp.MeanAll(v2))
+	if v2.Grad == nil {
+		t.Fatal("tape reuse after Reset failed")
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if v := Sigmoid(1000); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("Sigmoid(1000) = %v", v)
+	}
+	if v := Sigmoid(-1000); v != 0 && v > 1e-300 {
+		t.Fatalf("Sigmoid(-1000) = %v", v)
+	}
+	if v := Sigmoid(0); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("Sigmoid(0) = %v", v)
+	}
+}
+
+func TestBCEWithLogitsMatchesManual(t *testing.T) {
+	tp := NewTape()
+	logits := tp.Const(FromSlice(1, 2, []float64{0, 0}))
+	targets := FromSlice(1, 2, []float64{1, 0})
+	loss := tp.BCEWithLogits(logits, targets)
+	want := math.Log(2)
+	if math.Abs(loss.Value.Data[0]-want) > 1e-12 {
+		t.Fatalf("BCE(0,·) = %v, want ln2", loss.Value.Data[0])
+	}
+}

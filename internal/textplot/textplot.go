@@ -1,0 +1,167 @@
+// Package textplot renders small numeric series as terminal-friendly
+// sparklines and multi-line charts, used by the CLIs to visualise the
+// paper's difference-series figures without any graphics dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders a one-line sparkline of the series, scaled to its own
+// min/max range. Empty input yields an empty string; NaN/Inf values
+// render as spaces.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) { // all values invalid
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		sb.WriteRune(sparkLevels[idx])
+	}
+	return sb.String()
+}
+
+// Series is a named line for Chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart renders aligned sparklines for several series over a shared
+// vertical scale, one per row, with min/max annotations:
+//
+//	Original  ▃▅▂▁…  [0.08, 0.13]
+//	VRDAG     ▄▆▃▂…  [0.07, 0.12]
+//
+// A shared scale keeps the lines visually comparable, which is the whole
+// point of the paper's difference plots.
+func Chart(series []Series) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	width := 0
+	for _, s := range series {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return ""
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, s := range series {
+		sb.WriteString(fmt.Sprintf("%-*s ", width, s.Name))
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				sb.WriteByte(' ')
+				continue
+			}
+			idx := 0
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkLevels) {
+				idx = len(sparkLevels) - 1
+			}
+			sb.WriteRune(sparkLevels[idx])
+		}
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if !math.IsInf(mn, 1) {
+			sb.WriteString(fmt.Sprintf("  [%.4g, %.4g]", mn, mx))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Histogram renders a vertical-bar text histogram of a sample with the
+// given number of bins (used by vrdag-metrics to show degree and
+// attribute distributions).
+func Histogram(values []float64, bins int) string {
+	if len(values) == 0 || bins <= 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]float64, bins)
+	w := (hi - lo) / float64(bins)
+	for _, v := range values {
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return Spark(counts)
+}

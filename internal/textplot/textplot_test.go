@@ -1,0 +1,101 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkBasics(t *testing.T) {
+	if Spark(nil) != "" {
+		t.Fatal("empty input must give empty string")
+	}
+	s := Spark([]float64{0, 1, 2, 3})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatalf("length mismatch: %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("scaling wrong: %q", s)
+	}
+}
+
+func TestSparkConstantSeries(t *testing.T) {
+	s := Spark([]float64{5, 5, 5})
+	for _, r := range s {
+		if r != '▁' {
+			t.Fatalf("constant series must render lowest level: %q", s)
+		}
+	}
+}
+
+func TestSparkHandlesNaN(t *testing.T) {
+	s := Spark([]float64{1, math.NaN(), 2})
+	runes := []rune(s)
+	if len(runes) != 3 || runes[1] != ' ' {
+		t.Fatalf("NaN must render as space: %q", s)
+	}
+	if Spark([]float64{math.NaN()}) != " " {
+		t.Fatal("all-NaN must render spaces")
+	}
+}
+
+func TestChartSharedScale(t *testing.T) {
+	out := Chart([]Series{
+		{Name: "low", Values: []float64{0, 0, 0}},
+		{Name: "high", Values: []float64{10, 10, 10}},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines, got %q", out)
+	}
+	// shared scale: the low series renders at the bottom level, high at top
+	if !strings.Contains(lines[0], "▁▁▁") {
+		t.Fatalf("low line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "███") {
+		t.Fatalf("high line wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "[0, 0]") {
+		t.Fatalf("annotation missing: %q", lines[0])
+	}
+}
+
+func TestChartEmptyInput(t *testing.T) {
+	if Chart(nil) != "" {
+		t.Fatal("no series must give empty output")
+	}
+}
+
+func TestHistogramShape(t *testing.T) {
+	// bimodal sample: bars at both ends, dip in the middle
+	var v []float64
+	for i := 0; i < 100; i++ {
+		v = append(v, 0.0, 10.0)
+	}
+	v = append(v, 5.0)
+	h := Histogram(v, 5)
+	runes := []rune(h)
+	if len(runes) != 5 {
+		t.Fatalf("bins mismatch: %q", h)
+	}
+	if runes[0] != '█' || runes[4] != '█' {
+		t.Fatalf("modes must peak: %q", h)
+	}
+	if runes[2] == '█' {
+		t.Fatalf("valley must dip: %q", h)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if Histogram(nil, 5) != "" {
+		t.Fatal("empty sample must give empty histogram")
+	}
+	if Histogram([]float64{1}, 0) != "" {
+		t.Fatal("zero bins must give empty histogram")
+	}
+	if h := Histogram([]float64{3, 3, 3}, 4); utf8.RuneCountInString(h) != 4 {
+		t.Fatalf("constant sample: %q", h)
+	}
+}
