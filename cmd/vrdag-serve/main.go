@@ -1,0 +1,168 @@
+// Command vrdag-serve runs the VRDAG HTTP generation service.
+//
+// Models come from checkpoints written with `vrdag-gen -save-model`
+// (repeatable -model name=path flags) and/or are trained at startup on
+// named dataset replicas (-dataset, comma-separated). Dataset-trained
+// models keep their training sequence as the /v1/metrics reference;
+// checkpoint models serve generation only unless -ref name=path supplies
+// a reference in the vrdag-graph text format.
+//
+//	vrdag-serve -dataset email,bitcoin -scale 0.05 -epochs 10
+//	vrdag-serve -model email=email.ckpt -ref email=email.vg -addr :9090
+//
+// Endpoints: POST /v1/generate, GET /v1/metrics, GET /v1/models,
+// GET /healthz. The server drains in-flight generation work and shuts
+// down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vrdag/internal/core"
+	"vrdag/internal/datasets"
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataset = flag.String("dataset", "", "comma-separated dataset replicas to train and serve (email, bitcoin, wiki, guarantee, brain, gdelt)")
+		scale   = flag.Float64("scale", 0.05, "replica scale factor (1 = paper size)")
+		epochs  = flag.Int("epochs", 10, "training epochs for -dataset models")
+		seed    = flag.Int64("seed", 1, "seed for replica generation and training")
+		workers = flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "request queue slots (0 = 4x workers)")
+		maxT    = flag.Int("max-t", 512, "largest horizon accepted per request")
+		quiet   = flag.Bool("quiet", false, "suppress training progress output")
+	)
+	modelFlags := map[string]string{}
+	flag.Func("model", "checkpoint to serve, as name=path (repeatable)", func(v string) error {
+		return parsePair(v, modelFlags)
+	})
+	refFlags := map[string]string{}
+	flag.Func("ref", "reference sequence for a checkpoint model, as name=path (repeatable)", func(v string) error {
+		return parsePair(v, refFlags)
+	})
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "vrdag-serve ", log.LstdFlags)
+	srv := server.New(server.Config{
+		Workers: *workers, Queue: *queue, MaxT: *maxT, Logger: logger,
+	})
+
+	for name, path := range modelFlags {
+		m, err := loadCheckpoint(path)
+		if err != nil {
+			logger.Fatalf("load model %q: %v", name, err)
+		}
+		var ref *dyngraph.Sequence
+		if refPath, ok := refFlags[name]; ok {
+			if ref, err = loadSequence(refPath); err != nil {
+				logger.Fatalf("load reference %q: %v", name, err)
+			}
+		}
+		if err := srv.Register(name, m, ref); err != nil {
+			logger.Fatalf("register %q: %v", name, err)
+		}
+		logger.Printf("model %q: %d parameters (checkpoint %s)", name, m.NumParams(), path)
+	}
+	for name := range refFlags {
+		if _, ok := modelFlags[name]; !ok {
+			logger.Fatalf("-ref %s given without a matching -model", name)
+		}
+	}
+
+	if *dataset != "" {
+		for _, name := range strings.Split(*dataset, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			g, _, err := datasets.Replica(name, *scale, *seed)
+			if err != nil {
+				logger.Fatalf("dataset %q: %v", name, err)
+			}
+			cfg := core.DefaultConfig(g.N, g.F)
+			cfg.Epochs = *epochs
+			cfg.Seed = *seed
+			m := core.New(cfg)
+			logger.Printf("training %q: N=%d F=%d T=%d, %d parameters", name, g.N, g.F, g.T(), m.NumParams())
+			progress := func(s core.TrainStats) {
+				if !*quiet {
+					logger.Printf("  %q epoch %3d loss %.4f", name, s.Epoch, s.Loss)
+				}
+			}
+			if _, err := m.Fit(g, core.WithProgress(progress)); err != nil {
+				logger.Fatalf("train %q: %v", name, err)
+			}
+			if err := srv.Register(name, m, g); err != nil {
+				logger.Fatalf("register %q: %v", name, err)
+			}
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+}
+
+func parsePair(v string, dst map[string]string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	if _, dup := dst[name]; dup {
+		return fmt.Errorf("duplicate name %q", name)
+	}
+	dst[name] = path
+	return nil
+}
+
+func loadCheckpoint(path string) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+func loadSequence(path string) (*dyngraph.Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dyngraph.Load(f)
+}

@@ -1,0 +1,3 @@
+module vrdag
+
+go 1.24

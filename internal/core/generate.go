@@ -17,6 +17,13 @@ type GenOptions struct {
 	T    int   // number of snapshots to generate (required)
 	Seed int64 // RNG seed for this generation run
 
+	// Source, when non-nil, supplies the random stream for this run and
+	// takes precedence over Seed. Generation is otherwise read-only on the
+	// model, so concurrent GenerateOpts calls on one trained model are safe
+	// as long as each call gets its own Source (rand.Source values are not
+	// safe for shared use).
+	Source rand.Source
+
 	// DynamicNodes enables the node addition/deletion extension of
 	// Section III-H: nodes isolated for Tdel consecutive steps leave the
 	// active set; new nodes join at the empirical activation rate with
@@ -44,7 +51,11 @@ func (m *Model) GenerateOpts(opts GenOptions) (*dyngraph.Sequence, error) {
 		opts.Tdel = 3
 	}
 	n := m.Cfg.N
-	rng := rand.New(rand.NewSource(opts.Seed))
+	src := opts.Source
+	if src == nil {
+		src = rand.NewSource(opts.Seed)
+	}
+	rng := rand.New(src)
 	g := dyngraph.NewSequence(n, m.Cfg.F, opts.T)
 
 	h := tensor.New(n, m.Cfg.HiddenDim) // H_0 = 0 (Algorithm 1, line 1)

@@ -1,0 +1,90 @@
+package dyngraph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomSequence(n, f, tt int, seed int64) *Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewSequence(n, f, tt)
+	for _, s := range g.Snapshots {
+		for e := 0; e < 3*n; e++ {
+			s.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		if f > 0 {
+			for i := range s.X.Data {
+				s.X.Data[i] = rng.NormFloat64()
+			}
+		}
+	}
+	return g
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, f := range []int{0, 3} {
+		g := randomSequence(12, f, 4, 7)
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Sequence
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if back.N != g.N || back.F != g.F || back.T() != g.T() {
+			t.Fatalf("shape mismatch: got (%d,%d,%d), want (%d,%d,%d)",
+				back.N, back.F, back.T(), g.N, g.F, g.T())
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("decoded sequence invalid: %v", err)
+		}
+		for tt := 0; tt < g.T(); tt++ {
+			a, b := g.At(tt), back.At(tt)
+			if a.NumEdges() != b.NumEdges() {
+				t.Fatalf("snapshot %d: %d edges, want %d", tt, b.NumEdges(), a.NumEdges())
+			}
+			for _, e := range a.Edges() {
+				if !b.HasEdge(e[0], e[1]) {
+					t.Fatalf("snapshot %d: missing edge %v", tt, e)
+				}
+			}
+			if f > 0 {
+				for i := range a.X.Data {
+					if a.X.Data[i] != b.X.Data[i] {
+						t.Fatalf("snapshot %d: attribute mismatch at %d", tt, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestJSONEmptySnapshotEdgesNotNull(t *testing.T) {
+	g := NewSequence(3, 0, 1)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Fatalf("empty snapshot encoded with null: %s", data)
+	}
+}
+
+func TestJSONRejectsOutOfRangeEdge(t *testing.T) {
+	var g Sequence
+	err := json.Unmarshal([]byte(`{"n":3,"f":0,"snapshots":[{"edges":[[0,5]]}]}`), &g)
+	if err == nil {
+		t.Fatal("expected error for out-of-range edge")
+	}
+}
+
+func TestJSONRejectsBadAttributeShape(t *testing.T) {
+	var g Sequence
+	err := json.Unmarshal([]byte(`{"n":2,"f":2,"snapshots":[{"edges":[],"x":[[1,2]]}]}`), &g)
+	if err == nil {
+		t.Fatal("expected error for wrong attribute row count")
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrBusy is returned by Pool.Do when the request queue is full. Handlers
+// translate it into 503 Service Unavailable so load sheds at the edge
+// instead of piling up goroutines behind the CPU-bound generation work.
+var ErrBusy = errors.New("server: request queue full")
+
+// ErrClosed is returned by Pool.Do after Close.
+var ErrClosed = errors.New("server: pool closed")
+
+type task struct {
+	ctx  context.Context
+	f    func()
+	done chan struct{}
+	err  error // set by the worker before close(done) when f panicked
+}
+
+// Pool is a bounded worker pool for CPU-bound generation work. A fixed
+// number of workers (default GOMAXPROCS) drain a bounded queue; Do rejects
+// immediately with ErrBusy when the queue is full. Tasks whose context is
+// cancelled before a worker picks them up are skipped.
+type Pool struct {
+	tasks chan *task
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with the given worker and queue sizes; zero or
+// negative values select the defaults (GOMAXPROCS workers; 4× workers
+// queue slots, floored at 16 so small machines still absorb a burst).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 4 * workers
+		if queue < 16 {
+			queue = 16
+		}
+	}
+	p := &Pool{tasks: make(chan *task, queue)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		if err := t.ctx.Err(); err != nil {
+			// Do's select may observe done before ctx.Done(): the error
+			// must still say the task was skipped, not that it succeeded.
+			t.err = err
+		} else {
+			t.err = runTask(t.f)
+		}
+		close(t.done)
+	}
+}
+
+// runTask contains a panicking task so one bad request cannot take the
+// whole process down (the net/http per-connection recover does not cover
+// pool goroutines).
+func runTask(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: task panic: %v", r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// Do submits f and blocks until a worker has run it to completion, the
+// context is cancelled, or the pool is closed. A panic inside f is
+// contained and returned as an error. When Do returns a context error the
+// task may still be pending; it will be skipped by the worker, and the
+// caller must not read state shared with f afterwards.
+func (p *Pool) Do(ctx context.Context, f func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	t := &task{ctx: ctx, f: f, done: make(chan struct{})}
+	select {
+	case p.tasks <- t:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return ErrBusy
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting work and waits for queued and in-flight tasks to
+// drain.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

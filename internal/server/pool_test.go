@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsConcurrentTasks(t *testing.T) {
+	p := NewPool(4, 32) // queue holds the full burst below
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() { ran.Add(1) }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d tasks, want 32", ran.Load())
+	}
+}
+
+func TestPoolRejectsWhenQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-block })
+	<-started
+	// Fill the single queue slot with a second task and wait until it
+	// occupies the queue (the worker is blocked, so it stays there).
+	queued := make(chan error, 1)
+	go func() { queued <- p.Do(context.Background(), func() {}) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(p.tasks) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue slot never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Worker busy + queue full: the next submit must shed immediately.
+	if err := p.Do(context.Background(), func() {}); err != ErrBusy {
+		t.Fatalf("Do on full queue returned %v, want ErrBusy", err)
+	}
+	close(block)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued task: %v", err)
+	}
+}
+
+func TestPoolSkipsCancelledTasks(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-block })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	errc := make(chan error, 1)
+	go func() { errc <- p.Do(ctx, func() { ran.Store(true) }) }()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	close(block)
+	p.Close() // drain: the cancelled task must be skipped, not run
+	if ran.Load() {
+		t.Fatal("cancelled task ran")
+	}
+}
+
+func TestPoolContainsTaskPanic(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	err := p.Do(context.Background(), func() { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Do returned %v, want contained panic", err)
+	}
+	// The worker must survive the panic and keep serving.
+	if err := p.Do(context.Background(), func() {}); err != nil {
+		t.Fatalf("Do after panic: %v", err)
+	}
+}
+
+func TestPoolCloseRejectsNewWork(t *testing.T) {
+	p := NewPool(2, 2)
+	p.Close()
+	if err := p.Do(context.Background(), func() {}); err != ErrClosed {
+		t.Fatalf("Do after Close returned %v, want ErrClosed", err)
+	}
+}

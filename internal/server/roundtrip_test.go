@@ -1,0 +1,57 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vrdag/internal/core"
+)
+
+// TestCheckpointRoundTripThroughServer pins the serving contract for
+// checkpoints: serialize → load → generate through the HTTP path must
+// reproduce, bit for bit, what the original in-memory model generates for
+// the same seed.
+func TestCheckpointRoundTripThroughServer(t *testing.T) {
+	m, _ := trainedModel(t)
+
+	loaded, err := core.Load(bytes.NewReader(testCheck.Bytes()))
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	if loaded.NumParams() != m.NumParams() {
+		t.Fatalf("loaded model has %d params, want %d", loaded.NumParams(), m.NumParams())
+	}
+
+	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	defer s.Close()
+	if err := s.Register("ckpt", loaded, nil); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const seed, horizon = 99, 4
+	want, err := m.GenerateOpts(core.GenOptions{
+		T: horizon, Source: rand.NewSource(seed), Parallel: true,
+	})
+	if err != nil {
+		t.Fatalf("direct generate: %v", err)
+	}
+
+	var sd int64 = seed
+	resp, data := postGenerate(t, ts.URL, GenerateRequest{Model: "ckpt", T: horizon, Seed: &sd})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out GenerateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	assertSameSequence(t, want, out.Sequence)
+}

@@ -1,0 +1,352 @@
+// Package server exposes trained VRDAG models over HTTP as a generation
+// service: POST /v1/generate samples snapshot sequences, GET /v1/metrics
+// scores a fresh sample against the model's reference sequence, and
+// GET /v1/models and GET /healthz report registry and liveness state.
+//
+// Models are read-only after registration and every generation request
+// samples through its own rand.Source, so request handling needs no
+// per-model locking; a bounded worker pool sized to GOMAXPROCS applies
+// backpressure (503) ahead of the CPU-bound decoding work. This is the
+// scaffold later scaling work (sharding, batching, caching) extends.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vrdag/internal/core"
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/metrics"
+)
+
+// Config tunes the service; zero values select the documented defaults.
+type Config struct {
+	Workers int         // generation workers (default GOMAXPROCS)
+	Queue   int         // queued requests beyond in-flight (default 4×workers, min 16)
+	MaxT    int         // largest accepted horizon per request (default 512)
+	Logger  *log.Logger // request log destination (default stderr)
+}
+
+// Server routes HTTP requests onto the worker pool. Create with New,
+// register at least one model, then use it as an http.Handler.
+type Server struct {
+	cfg    Config
+	pool   *Pool
+	logger *log.Logger
+	mux    *http.ServeMux
+
+	mu     sync.RWMutex
+	models map[string]*modelEntry
+
+	seedMu sync.Mutex
+	seeder *rand.Rand
+}
+
+type modelEntry struct {
+	name      string
+	model     *core.Model
+	ref       *dyngraph.Sequence
+	generated atomic.Int64
+}
+
+// New constructs a Server with no registered models.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxT <= 0 {
+		cfg.MaxT = 512
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(log.Writer(), "vrdag-serve ", log.LstdFlags)
+	}
+	s := &Server{
+		cfg:    cfg,
+		pool:   NewPool(cfg.Workers, cfg.Queue),
+		logger: cfg.Logger,
+		models: make(map[string]*modelEntry),
+		seeder: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Register adds a trained model under name. ref, when non-nil, is the
+// reference sequence /v1/metrics compares generated samples against
+// (typically the training data). The model must not be mutated (trained,
+// refitted) after registration: handlers rely on it being read-only.
+func (s *Server) Register(name string, m *core.Model, ref *dyngraph.Sequence) error {
+	if name == "" {
+		return fmt.Errorf("server: model name must be non-empty")
+	}
+	if m == nil {
+		return fmt.Errorf("server: model %q is nil", name)
+	}
+	if !m.Trained() {
+		return fmt.Errorf("server: model %q is untrained", name)
+	}
+	if ref != nil && (ref.N != m.Cfg.N || ref.F != m.Cfg.F) {
+		return fmt.Errorf("server: model %q reference shape (%d,%d) does not match model (%d,%d)",
+			name, ref.N, ref.F, m.Cfg.N, m.Cfg.F)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.models[name]; dup {
+		return fmt.Errorf("server: model %q already registered", name)
+	}
+	s.models[name] = &modelEntry{name: name, model: m, ref: ref}
+	return nil
+}
+
+// Close drains the worker pool. In-flight requests finish; new ones are
+// rejected with 503.
+func (s *Server) Close() { s.pool.Close() }
+
+// ServeHTTP implements http.Handler with request logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(lw, r)
+	s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, lw.status, time.Since(start).Round(time.Microsecond))
+}
+
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *loggingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// lookup resolves a model by name; an empty name resolves iff exactly one
+// model is registered.
+func (s *Server) lookup(name string) (*modelEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.models) == 1 {
+			for _, e := range s.models {
+				return e, nil
+			}
+		}
+		return nil, fmt.Errorf("model name required (%d models registered)", len(s.models))
+	}
+	e, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+	return e, nil
+}
+
+func (s *Server) drawSeed() int64 {
+	s.seedMu.Lock()
+	defer s.seedMu.Unlock()
+	return s.seeder.Int63()
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Usually the client hung up, but encode also fails on non-finite
+		// floats — after the status line is out, a log line is the only
+		// trace left of either.
+		s.logger.Printf("ERROR encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// runPooled executes f on the worker pool, translating pool saturation,
+// task panics, and request cancellation into HTTP errors. It reports
+// whether f completed successfully.
+func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, f func()) bool {
+	err := s.pool.Do(r.Context(), f)
+	switch {
+	case err == nil:
+		return true
+	case err == ErrBusy || err == ErrClosed:
+		s.writeError(w, http.StatusServiceUnavailable, "server overloaded: %v", err)
+	case r.Context().Err() != nil: // client gone, nothing to write
+	default: // contained task panic
+		s.logger.Printf("ERROR %s %s: %v", r.Method, r.URL.Path, err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	return false
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req GenerateRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.T <= 0 || req.T > s.cfg.MaxT {
+		s.writeError(w, http.StatusBadRequest, "t must be in 1..%d, got %d", s.cfg.MaxT, req.T)
+		return
+	}
+	entry, err := s.lookup(req.Model)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	seed := s.drawSeed()
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	var (
+		seq    *dyngraph.Sequence
+		genErr error
+		start  = time.Now()
+	)
+	ok := s.runPooled(w, r, func() {
+		seq, genErr = entry.model.GenerateOpts(core.GenOptions{
+			T:            req.T,
+			Source:       rand.NewSource(seed),
+			DynamicNodes: req.DynamicNodes,
+			Parallel:     true,
+		})
+	})
+	if !ok {
+		return
+	}
+	if genErr != nil {
+		s.writeError(w, http.StatusInternalServerError, "generation failed: %v", genErr)
+		return
+	}
+	entry.generated.Add(1)
+	s.writeJSON(w, http.StatusOK, GenerateResponse{
+		Model:     entry.name,
+		Seed:      seed,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Sequence:  seq,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	entry, err := s.lookup(q.Get("model"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if entry.ref == nil {
+		s.writeError(w, http.StatusConflict, "model %q has no reference sequence for metrics", entry.name)
+		return
+	}
+	t := entry.ref.T()
+	if t > s.cfg.MaxT {
+		t = s.cfg.MaxT
+	}
+	if v := q.Get("t"); v != "" {
+		t, err = strconv.Atoi(v)
+		if err != nil || t <= 0 || t > s.cfg.MaxT {
+			s.writeError(w, http.StatusBadRequest, "t must be in 1..%d, got %q", s.cfg.MaxT, v)
+			return
+		}
+	}
+	var seed int64 = 1
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+	}
+
+	var resp MetricsResponse
+	var genErr error
+	start := time.Now()
+	ok := s.runPooled(w, r, func() {
+		var seq *dyngraph.Sequence
+		seq, genErr = entry.model.GenerateOpts(core.GenOptions{
+			T: t, Source: rand.NewSource(seed), Parallel: true,
+		})
+		if genErr != nil {
+			return
+		}
+		resp.Structure = metrics.CompareStructure(entry.ref, seq)
+		if entry.ref.F > 0 {
+			jsd := metrics.AttrJSD(entry.ref, seq, 32)
+			emd := metrics.AttrEMD(entry.ref, seq)
+			resp.AttrJSD, resp.AttrEMD = &jsd, &emd
+		}
+	})
+	if !ok {
+		return
+	}
+	if genErr != nil {
+		s.writeError(w, http.StatusInternalServerError, "generation failed: %v", genErr)
+		return
+	}
+	resp.Model = entry.name
+	resp.Seed = seed
+	resp.T = t
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.RLock()
+	infos := make([]ModelInfo, 0, len(s.models))
+	for _, e := range s.models {
+		info := ModelInfo{
+			Name:      e.name,
+			N:         e.model.Cfg.N,
+			F:         e.model.Cfg.F,
+			Params:    e.model.NumParams(),
+			Trained:   e.model.Trained(),
+			Generated: e.generated.Load(),
+		}
+		if e.ref != nil {
+			info.RefT = e.ref.T()
+			info.HasRef = true
+		}
+		infos = append(infos, info)
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.models)
+	s.mu.RUnlock()
+	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Models: n, Workers: s.cfg.Workers})
+}

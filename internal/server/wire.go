@@ -1,0 +1,66 @@
+package server
+
+import (
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/metrics"
+)
+
+// GenerateRequest is the body of POST /v1/generate.
+type GenerateRequest struct {
+	// Model names a registered model (required when more than one model is
+	// registered; defaults to the single registered model otherwise).
+	Model string `json:"model,omitempty"`
+	// T is the number of snapshots to sample (required, 1..MaxT).
+	T int `json:"t"`
+	// Seed pins the random stream for reproducibility. When omitted the
+	// server draws a fresh seed and reports it in the response.
+	Seed *int64 `json:"seed,omitempty"`
+	// DynamicNodes enables the node add/delete extension (§III-H).
+	DynamicNodes bool `json:"dynamic_nodes,omitempty"`
+}
+
+// GenerateResponse is the body of a successful POST /v1/generate.
+type GenerateResponse struct {
+	Model     string             `json:"model"`
+	Seed      int64              `json:"seed"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+	Sequence  *dyngraph.Sequence `json:"sequence"`
+}
+
+// MetricsResponse is the body of GET /v1/metrics: the Table-I structure
+// metrics (and, for attributed models, the attribute distribution
+// divergences) of a freshly generated sequence against the model's
+// reference sequence.
+type MetricsResponse struct {
+	Model     string                  `json:"model"`
+	Seed      int64                   `json:"seed"`
+	T         int                     `json:"t"`
+	ElapsedMS float64                 `json:"elapsed_ms"`
+	Structure metrics.StructureReport `json:"structure"`
+	AttrJSD   *float64                `json:"attr_jsd,omitempty"`
+	AttrEMD   *float64                `json:"attr_emd,omitempty"`
+}
+
+// ModelInfo is one entry of GET /v1/models.
+type ModelInfo struct {
+	Name      string `json:"name"`
+	N         int    `json:"n"`
+	F         int    `json:"f"`
+	Params    int    `json:"params"`
+	Trained   bool   `json:"trained"`
+	RefT      int    `json:"ref_t"` // reference sequence length; 0 when none registered
+	HasRef    bool   `json:"has_ref"`
+	Generated int64  `json:"generated"` // completed generation requests served
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Models  int    `json:"models"`
+	Workers int    `json:"workers"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
