@@ -19,6 +19,17 @@ import (
 	"vrdag/internal/experiments"
 )
 
+// skipIfShort exempts the full-pipeline benchmarks from -short runs: each
+// one trains and samples every dataset replica, which is minutes of work
+// CI does not need on every push (the tensor/gnn micro-benchmarks cover
+// the hot kernels cheaply).
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping full-pipeline benchmark in -short mode")
+	}
+}
+
 func benchOptions() experiments.Options {
 	o := experiments.Options{Scale: 0.02, Seed: 1, Epochs: 3}
 	if v := os.Getenv("VRDAG_SCALE"); v != "" {
@@ -38,6 +49,7 @@ func benchOptions() experiments.Options {
 // for each dataset. The reported custom metrics are VRDAG's in-degree MMD
 // per dataset (the paper's headline fidelity numbers).
 func BenchmarkTable1(b *testing.B) {
+	skipIfShort(b)
 	for _, ds := range datasets.AllNames() {
 		ds := ds
 		b.Run(ds, func(b *testing.B) {
@@ -60,6 +72,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkTable2 regenerates the Spearman-correlation MAE comparison.
 func BenchmarkTable2(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2(o)
@@ -76,6 +89,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkFigure3 regenerates the attribute JSD/EMD comparison.
 func BenchmarkFigure3(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure3(o)
@@ -99,6 +113,7 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkFigure4to6 regenerates the temporal structure-difference
 // series (degree, clustering coefficient, coreness).
 func BenchmarkFigure4to6(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figures4to6(o); err != nil {
@@ -109,6 +124,7 @@ func BenchmarkFigure4to6(b *testing.B) {
 
 // BenchmarkFigure7to8 regenerates the temporal attribute-difference series.
 func BenchmarkFigure7to8(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figures7to8(o); err != nil {
@@ -121,6 +137,7 @@ func BenchmarkFigure7to8(b *testing.B) {
 // generation-speed ratio of the slowest walk baseline over VRDAG (the
 // paper reports up to 4 orders of magnitude at full scale).
 func BenchmarkFigure9(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure9(o)
@@ -142,6 +159,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 // BenchmarkFigure9Sweep regenerates the time-vs-timesteps sweep (Bitcoin).
 func BenchmarkFigure9Sweep(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure9Sweep(o); err != nil {
@@ -153,6 +171,7 @@ func BenchmarkFigure9Sweep(b *testing.B) {
 // BenchmarkTable3And4 regenerates the scalability study (training and
 // generation time against temporal edge count on GDELT-like workloads).
 func BenchmarkTable3And4(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Scalability(o, []int{1000, 4000})
@@ -172,6 +191,7 @@ func BenchmarkTable3And4(b *testing.B) {
 
 // BenchmarkFigure10 regenerates the downstream augmentation case study.
 func BenchmarkFigure10(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure10(o)
@@ -188,6 +208,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 // BenchmarkAblation regenerates the design-choice ablations on Email.
 func BenchmarkAblation(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Ablation(o)

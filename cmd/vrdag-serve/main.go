@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +46,7 @@ func main() {
 		queue   = flag.Int("queue", 0, "request queue slots (0 = 4x workers)")
 		maxT    = flag.Int("max-t", 512, "largest horizon accepted per request")
 		quiet   = flag.Bool("quiet", false, "suppress training progress output")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	modelFlags := map[string]string{}
 	flag.Func("model", "checkpoint to serve, as name=path (repeatable)", func(v string) error {
@@ -110,6 +112,20 @@ func main() {
 				logger.Fatalf("register %q: %v", name, err)
 			}
 		}
+	}
+
+	if *pprof != "" {
+		// The profiling endpoints live on their own listener (typically
+		// loopback-only), never on the public service address:
+		//
+		//	go tool pprof http://localhost:6060/debug/pprof/profile
+		//	go tool pprof http://localhost:6060/debug/pprof/heap
+		go func() {
+			logger.Printf("pprof listening on %s", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

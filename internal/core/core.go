@@ -141,6 +141,10 @@ type Model struct {
 
 	adam *nn.Adam
 	rng  *rand.Rand
+	// tape is reused across TBPTT windows and epochs; Tape.Reset returns
+	// every op output and gradient buffer to the pooled tensor arena, so
+	// steady-state training allocates almost nothing.
+	tape *tensor.Tape
 
 	// Statistics captured from the training sequence, used for the
 	// generation-time density/attribute calibration and the node
@@ -240,14 +244,18 @@ func (m *Model) posterior(c *nn.Ctx, eps, h *tensor.Node) (mu, logSig *tensor.No
 	return m.postMu.Apply(c, hid), m.postSig.Apply(c, hid)
 }
 
-// priorValue evaluates the prior network without the tape.
+// priorValue evaluates the prior network without the tape. Both returned
+// matrices are pool-allocated; callers Put them when done.
 func (m *Model) priorValue(h *tensor.Matrix) (mu, logSig *tensor.Matrix) {
-	hid := leakyVal(m.priorHid.Forward(h))
-	return m.priorMu.Forward(hid), m.priorSig.Forward(hid)
+	hid := m.priorHid.Forward(h)
+	leakyValInPlace(hid)
+	mu, logSig = m.priorMu.Forward(hid), m.priorSig.Forward(hid)
+	tensor.Put(hid)
+	return mu, logSig
 }
 
-func leakyVal(x *tensor.Matrix) *tensor.Matrix {
-	return x.Apply(func(v float64) float64 {
+func leakyValInPlace(x *tensor.Matrix) {
+	x.ApplyInPlace(func(v float64) float64 {
 		if v > 0 {
 			return v
 		}
@@ -255,18 +263,21 @@ func leakyVal(x *tensor.Matrix) *tensor.Matrix {
 	})
 }
 
-// reparameterize draws z = µ + ε·σ on the tape with constant noise.
+// reparameterize draws z = µ + ε·σ on the tape with constant noise. The
+// noise buffer is tape-owned so Reset recycles it.
 func reparameterize(t *tensor.Tape, mu, logSig *tensor.Node, rng *rand.Rand) *tensor.Node {
-	noise := tensor.Randn(mu.Value.Rows, mu.Value.Cols, 1, rng)
-	return t.Add(mu, t.Mul(t.Const(noise), t.Exp(logSig)))
+	noise := tensor.Get(mu.Value.Rows, mu.Value.Cols)
+	for i := range noise.Data {
+		noise.Data[i] = rng.NormFloat64()
+	}
+	return t.Add(mu, t.Mul(t.Owned(noise), t.Exp(logSig)))
 }
 
-// sampleLatent draws z = µ + ε·σ without the tape.
+// sampleLatent draws z = µ + ε·σ without the tape into a pooled buffer.
 func sampleLatent(mu, logSig *tensor.Matrix, rng *rand.Rand) *tensor.Matrix {
-	z := mu.Clone()
-	for i := range z.Data {
-		sigma := expClamp(logSig.Data[i])
-		z.Data[i] += rng.NormFloat64() * sigma
+	z := tensor.Get(mu.Rows, mu.Cols)
+	for i, v := range mu.Data {
+		z.Data[i] = v + rng.NormFloat64()*expClamp(logSig.Data[i])
 	}
 	return z
 }

@@ -72,6 +72,8 @@ func (m *Model) GenerateOpts(opts GenOptions) (*dyngraph.Sequence, error) {
 		// Line 3: sample temporal latent variables from the prior.
 		mu, logSig := m.priorValue(h)
 		z := sampleLatent(mu, logSig, rng)
+		tensor.Put(mu)
+		tensor.Put(logSig)
 		s := concatValue(z, h) // S_t = [Z_t ‖ H_{t-1}]
 
 		// Line 4: decode the adjacency via the MixBernoulli sampler.
@@ -87,14 +89,25 @@ func (m *Model) GenerateOpts(opts GenOptions) (*dyngraph.Sequence, error) {
 			esrc, edst := snap.EdgeLists()
 			dec := m.gat.Forward(s, esrc, edst, n)
 			x := m.attrMLP.Forward(dec)
-			prevX = m.composeAttrs(x, prevX, rng)
-			snap.X = x
+			tensor.Put(dec)
+			state := m.composeAttrs(x, prevX, rng)
+			if prevX != nil && state != prevX {
+				tensor.Put(prevX)
+			}
+			prevX = state
+			snap.X = x // escapes into the sequence; never recycled
 		}
 
 		// Line 7: update hidden states with the recurrence updater.
 		eps := m.enc.EncodeValue(snap)
 		gin := m.gruInputValue(eps, z, t, n)
-		h = m.gru.Forward(gin, h)
+		hNext := m.gru.Forward(gin, h)
+		tensor.Put(gin)
+		tensor.Put(eps)
+		tensor.Put(z)
+		tensor.Put(s)
+		tensor.Put(h)
+		h = hNext
 
 		// Bookkeeping for candidate weighting and the dynamic-node
 		// extension.
@@ -119,17 +132,20 @@ func (m *Model) GenerateOpts(opts GenOptions) (*dyngraph.Sequence, error) {
 	return g, nil
 }
 
-// gruInputValue assembles [ε ‖ z ‖ fT(t)] without the tape.
+// gruInputValue assembles [ε ‖ z ‖ fT(t)] without the tape into a pooled
+// buffer (the caller Puts it after the GRU update).
 func (m *Model) gruInputValue(eps, z *tensor.Matrix, t, n int) *tensor.Matrix {
 	if !m.Cfg.UseTime2Vec {
 		return concatValue(eps, z)
 	}
 	ft := m.t2v.EncodeValue(float64(t))
-	ftN := tensor.New(n, m.Cfg.TimeDim)
+	ftN := tensor.Get(n, m.Cfg.TimeDim)
 	for i := 0; i < n; i++ {
 		copy(ftN.Row(i), ft.Data)
 	}
-	return concatValue(eps, z, ftN)
+	out := concatValue(eps, z, ftN)
+	tensor.Put(ftN)
+	return out
 }
 
 // decodeStructure implements the one-shot MixBernoulli decoding (Eq. 11).
@@ -186,18 +202,18 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 		seeds[i] = rng.Int63()
 	}
 
-	work := func(i int) {
+	work := func(i int, mark []bool) {
 		if !active[i] {
 			return
 		}
 		nrng := rand.New(rand.NewSource(seeds[i]))
-		cands := m.candidates(i, prev, cum, totalW, nrng)
+		cands := m.candidates(i, prev, cum, totalW, nrng, mark)
 		if len(cands) == 0 {
 			return
 		}
-		// diffs[j] = s_i - s_cands[j]
+		// diffs[j] = s_i - s_cands[j]; pooled scratch, recycled per node.
 		ds := s.Cols
-		diff := tensor.New(len(cands), ds)
+		diff := tensor.Get(len(cands), ds)
 		srow := s.Row(i)
 		for k, j := range cands {
 			drow := diff.Row(k)
@@ -206,9 +222,10 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 				drow[c] = srow[c] - jrow[c]
 			}
 		}
-		thetaLogits := m.fTheta.Forward(diff) // C×K
-		theta := thetaLogits.Apply(tensor.Sigmoid)
+		theta := m.fTheta.Forward(diff) // C×K logits
+		theta.ApplyInPlace(tensor.Sigmoid)
 		aOut := m.fAlpha.Forward(diff) // C×K
+		tensor.Put(diff)
 		aSum := make([]float64, m.Cfg.K)
 		for k := 0; k < len(cands); k++ {
 			row := aOut.Row(k)
@@ -216,12 +233,13 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 				aSum[c] += row[c]
 			}
 		}
+		tensor.Put(aOut)
 		alpha := make([]float64, m.Cfg.K)
 		tensor.SoftmaxSlice(alpha, aSum)
 		scores[i] = nodeScores{cands: cands, theta: theta, alpha: alpha}
 	}
 
-	if parallel {
+	if parallel && runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
 		workers := runtime.GOMAXPROCS(0)
 		chunk := (n + workers - 1) / workers
@@ -236,15 +254,17 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				mark := make([]bool, n) // candidate-dedup scratch, one per worker
 				for i := lo; i < hi; i++ {
-					work(i)
+					work(i, mark)
 				}
 			}(lo, hi)
 		}
 		wg.Wait()
 	} else {
+		mark := make([]bool, n)
 		for i := 0; i < n; i++ {
-			work(i)
+			work(i, mark)
 		}
 	}
 
@@ -289,6 +309,8 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 				snap.AddEdge(i, j)
 			}
 		}
+		tensor.Put(sc.theta)
+		sc.theta = nil
 	}
 }
 
@@ -336,7 +358,7 @@ func (m *Model) composeAttrs(x *tensor.Matrix, prevS *tensor.Matrix, rng *rand.R
 		}
 	}
 	// mix and AR state update.
-	state := tensor.New(n, f)
+	state := tensor.Get(n, f)
 	for j := 0; j < f; j++ {
 		r2 := 0.0
 		if m.attrR2 != nil && j < len(m.attrR2) {
@@ -525,8 +547,10 @@ func (m *Model) edgeTarget(t int) float64 {
 // candidates builds the destination candidate set for node i: the node's
 // previous out-neighbours (temporal persistence) filled up to CandidateCap
 // with degree-proportional random draws. CandidateCap == 0 scores every
-// other node (exact Eq. 11 decoding).
-func (m *Model) candidates(i int, prev *dyngraph.Snapshot, cum []float64, totalW float64, rng *rand.Rand) []int {
+// other node (exact Eq. 11 decoding). mark is caller-provided dedup
+// scratch of length N, false on entry; it is cleaned before returning so
+// the worker can reuse it for the next node without reallocation.
+func (m *Model) candidates(i int, prev *dyngraph.Snapshot, cum []float64, totalW float64, rng *rand.Rand, mark []bool) []int {
 	n := m.Cfg.N
 	limit := m.Cfg.CandidateCap
 	if limit <= 0 || limit >= n-1 {
@@ -538,16 +562,17 @@ func (m *Model) candidates(i int, prev *dyngraph.Snapshot, cum []float64, totalW
 		}
 		return out
 	}
-	seen := make(map[int]struct{}, limit*2)
 	out := make([]int, 0, limit)
+	defer func() {
+		for _, j := range out {
+			mark[j] = false
+		}
+	}()
 	add := func(j int) {
-		if j == i {
+		if j == i || mark[j] {
 			return
 		}
-		if _, ok := seen[j]; ok {
-			return
-		}
-		seen[j] = struct{}{}
+		mark[j] = true
 		out = append(out, j)
 	}
 	if prev != nil {
@@ -674,7 +699,7 @@ func concatValue(parts ...*tensor.Matrix) *tensor.Matrix {
 	for _, p := range parts {
 		total += p.Cols
 	}
-	out := tensor.New(rows, total)
+	out := tensor.Get(rows, total)
 	off := 0
 	for _, p := range parts {
 		for i := 0; i < rows; i++ {

@@ -219,12 +219,19 @@ func (m *Model) runEpoch(g *dyngraph.Sequence, epoch int) (TrainStats, error) {
 	agg := TrainStats{Epoch: epoch}
 	windows := 0
 
+	// One tape serves every window of every epoch: Reset returns all op
+	// outputs and gradient buffers to the pooled arena, so after the first
+	// window the forward/backward pass runs allocation-free.
+	if m.tape == nil {
+		m.tape = tensor.NewTape()
+	}
+	tape := m.tape
+
 	for start := 0; start < g.T(); start += window {
 		end := start + window
 		if end > g.T() {
 			end = g.T()
 		}
-		tape := tensor.NewTape()
 		c := nn.NewTrainCtx(tape, m.adam)
 		h := tape.Const(hVal)
 		var strucTerms, attrTerms, klTerms []*tensor.Node
@@ -310,6 +317,10 @@ func (m *Model) runEpoch(g *dyngraph.Sequence, epoch int) (TrainStats, error) {
 		agg.KLLoss += kl.Value.Data[0]
 		agg.GradNorm += norm
 		windows++
+
+		// Everything read out of the window (loss terms, detached state,
+		// accumulated gradients) has been copied; recycle the tape buffers.
+		tape.Reset()
 	}
 	if windows > 0 {
 		w := float64(windows)

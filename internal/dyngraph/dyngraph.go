@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"vrdag/internal/tensor"
 )
@@ -22,6 +23,16 @@ type Snapshot struct {
 	In  [][]int        // In[v]  = sorted sources of v
 	X   *tensor.Matrix // N×F attributes; nil when the graph is unattributed
 	m   int            // edge count
+
+	// Memoised CSR forms of the adjacency. The bi-flow encoder asks for
+	// both matrices once per layer per epoch; rebuilding them from the
+	// neighbour lists dominated encoder time on static snapshots. AddEdge
+	// and RemoveEdge invalidate the cache; the mutex makes concurrent
+	// readers (e.g. /v1/metrics requests sharing a reference sequence)
+	// safe.
+	csrMu    sync.Mutex
+	adjCSR   *tensor.CSR
+	adjTCSRc *tensor.CSR
 }
 
 // NewSnapshot returns an empty snapshot over n nodes with f attribute
@@ -59,7 +70,15 @@ func (s *Snapshot) AddEdge(u, v int) bool {
 	s.Out[u] = out
 	s.In[v], _ = insertSorted(s.In[v], u)
 	s.m++
+	s.invalidateCSR()
 	return true
+}
+
+// invalidateCSR drops the memoised CSR forms after a mutation.
+func (s *Snapshot) invalidateCSR() {
+	s.csrMu.Lock()
+	s.adjCSR, s.adjTCSRc = nil, nil
+	s.csrMu.Unlock()
 }
 
 // RemoveEdge deletes u→v if present, reporting whether it existed.
@@ -75,6 +94,7 @@ func (s *Snapshot) RemoveEdge(u, v int) bool {
 	j := sort.SearchInts(s.In[v], u)
 	s.In[v] = append(s.In[v][:j], s.In[v][j+1:]...)
 	s.m--
+	s.invalidateCSR()
 	return true
 }
 
@@ -123,16 +143,29 @@ func (s *Snapshot) EdgeLists() (src, dst []int) {
 }
 
 // AdjCSR returns the adjacency matrix A (A[u][v] = 1 for edge u→v) in CSR
-// form; A·H aggregates each node's out-neighbour states.
+// form; A·H aggregates each node's out-neighbour states. The result is
+// memoised until the next AddEdge/RemoveEdge and must therefore be treated
+// as immutable by callers (the tensor.CSR contract).
 func (s *Snapshot) AdjCSR() *tensor.CSR {
-	src, dst := s.EdgeLists()
-	return tensor.NewCSR(s.N, s.N, src, dst, nil)
+	s.csrMu.Lock()
+	defer s.csrMu.Unlock()
+	if s.adjCSR == nil {
+		src, dst := s.EdgeLists()
+		s.adjCSR = tensor.NewCSR(s.N, s.N, src, dst, nil)
+	}
+	return s.adjCSR
 }
 
 // AdjTCSR returns Aᵀ in CSR form; Aᵀ·H aggregates in-neighbour states.
+// Memoised like AdjCSR.
 func (s *Snapshot) AdjTCSR() *tensor.CSR {
-	src, dst := s.EdgeLists()
-	return tensor.NewCSR(s.N, s.N, dst, src, nil)
+	s.csrMu.Lock()
+	defer s.csrMu.Unlock()
+	if s.adjTCSRc == nil {
+		src, dst := s.EdgeLists()
+		s.adjTCSRc = tensor.NewCSR(s.N, s.N, dst, src, nil)
+	}
+	return s.adjTCSRc
 }
 
 // Clone returns a deep copy of the snapshot.

@@ -8,39 +8,65 @@ import (
 )
 
 // Tape-free forward passes for generation (Algorithm 1). Equivalence with
-// the taped versions is covered by tests.
+// the taped versions is covered by tests. All intermediates are drawn from
+// and returned to the pooled tensor arena; only the final representation
+// escapes.
 
 // EncodeValue runs the bi-flow encoder without recording gradients.
 func (e *BiFlowEncoder) EncodeValue(s *dyngraph.Snapshot) *tensor.Matrix {
 	adj := s.AdjCSR()
 	adjT := s.AdjTCSR()
-	h := leaky(e.inProj.Forward(inputFeatures(s, e.cfg.InDim, e.cfg.BiFlow)))
+	feat := inputFeatures(s, e.cfg.InDim, e.cfg.BiFlow)
+	h := e.inProj.Forward(feat)
+	tensor.Put(feat)
+	leakyInPlace(h)
 
-	var hops []*tensor.Matrix
+	hops := make([]*tensor.Matrix, 0, e.cfg.Layers)
 	for l := 0; l < e.cfg.Layers; l++ {
 		var merged *tensor.Matrix
 		if e.cfg.BiFlow {
 			inAgg := adjT.MulDense(h)
 			inAgg.Axpy(1+e.epsIn[l].Value.Data[0], h)
 			inH := e.fIn[l].Forward(inAgg)
+			tensor.Put(inAgg)
 			outAgg := adj.MulDense(h)
 			outAgg.Axpy(1+e.epsOut[l].Value.Data[0], h)
 			outH := e.fOut[l].Forward(outAgg)
-			merged = e.fAgg.Forward(concatCols(inH, outH))
+			tensor.Put(outAgg)
+			both := concatCols(inH, outH)
+			tensor.Put(inH)
+			tensor.Put(outH)
+			merged = e.fAgg.Forward(both)
+			tensor.Put(both)
 		} else {
 			und := adj.MulDense(h)
-			und.AddInPlace(adjT.MulDense(h))
+			adjT.MulDenseInto(und, h)
 			und.Axpy(1+e.epsIn[l].Value.Data[0], h)
 			inH := e.fIn[l].Forward(und)
-			merged = e.fAgg.Forward(concatCols(inH, inH))
+			tensor.Put(und)
+			both := concatCols(inH, inH)
+			tensor.Put(inH)
+			merged = e.fAgg.Forward(both)
+			tensor.Put(both)
+		}
+		if l == 0 {
+			tensor.Put(h) // the projected input; later layers live on in hops
 		}
 		h = merged
 		hops = append(hops, h)
 	}
+	var out *tensor.Matrix
 	if len(hops) == 1 {
-		return e.fPool.Forward(hops[0])
+		out = e.fPool.Forward(hops[0])
+	} else {
+		jump := concatCols(hops...)
+		out = e.fPool.Forward(jump)
+		tensor.Put(jump)
 	}
-	return e.fPool.Forward(concatCols(hops...))
+	for _, hop := range hops {
+		tensor.Put(hop)
+	}
+	return out
 }
 
 // Forward runs the GAT layer without recording gradients.
@@ -84,7 +110,7 @@ func (g *GAT) Forward(states *tensor.Matrix, src, dst []int, n int) *tensor.Matr
 		score[k] = math.Exp(score[k] - mx[ed[k]])
 		sum[ed[k]] += score[k]
 	}
-	out := tensor.New(n, d)
+	out := tensor.Get(n, d)
 	for k := 0; k < e; k++ {
 		a := score[k] / sum[ed[k]]
 		orow := out.Row(ed[k])
@@ -93,11 +119,12 @@ func (g *GAT) Forward(states *tensor.Matrix, src, dst []int, n int) *tensor.Matr
 			orow[j] += a * srow[j]
 		}
 	}
+	tensor.Put(wh)
 	return out
 }
 
-func leaky(m *tensor.Matrix) *tensor.Matrix {
-	return m.Apply(func(v float64) float64 {
+func leakyInPlace(m *tensor.Matrix) {
+	m.ApplyInPlace(func(v float64) float64 {
 		if v > 0 {
 			return v
 		}
@@ -111,7 +138,7 @@ func concatCols(parts ...*tensor.Matrix) *tensor.Matrix {
 	for _, p := range parts {
 		total += p.Cols
 	}
-	out := tensor.New(rows, total)
+	out := tensor.Get(rows, total)
 	off := 0
 	for _, p := range parts {
 		for i := 0; i < rows; i++ {

@@ -91,7 +91,7 @@ func (e *BiFlowEncoder) OutDim() int { return e.cfg.OutDim }
 // invariant.
 func inputFeatures(s *dyngraph.Snapshot, f int, directed bool) *tensor.Matrix {
 	n := s.N
-	feat := tensor.New(n, f+2)
+	feat := tensor.Get(n, f+2)
 	maxDeg := 1.0
 	for v := 0; v < n; v++ {
 		if d := float64(s.InDegree(v) + s.OutDegree(v)); d > maxDeg {
@@ -125,9 +125,9 @@ func broadcastScalar(t *tensor.Tape, s *tensor.Node, n int) *tensor.Node {
 // the N×OutDim node representations ε(v, t).
 func (e *BiFlowEncoder) Encode(c *nn.Ctx, s *dyngraph.Snapshot) *tensor.Node {
 	t := c.Tape
-	adj := s.AdjCSR()   // A·H sums out-neighbour states
+	adj := s.AdjCSR()   // A·H sums out-neighbour states (cached on the snapshot)
 	adjT := s.AdjTCSR() // Aᵀ·H sums in-neighbour states
-	h := t.LeakyReLU(e.inProj.Apply(c, t.Const(inputFeatures(s, e.cfg.InDim, e.cfg.BiFlow))), 0.2)
+	h := e.inProj.ApplyAct(c, t.Owned(inputFeatures(s, e.cfg.InDim, e.cfg.BiFlow)), nn.ActLeakyReLU)
 
 	var hops []*tensor.Node
 	for l := 0; l < e.cfg.Layers; l++ {

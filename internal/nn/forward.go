@@ -8,85 +8,85 @@ import (
 
 // This file provides tape-free forward passes for inference. Generation
 // (Algorithm 1) never needs gradients, and skipping the tape removes all
-// bookkeeping allocations from the hot path. Equivalence with the taped
-// versions is covered by tests.
+// bookkeeping allocations from the hot path. Outputs come from the pooled
+// arena (tensor.Get) and layer intermediates are returned to it with
+// tensor.Put, so a warm server generates with near-zero garbage.
+// Equivalence with the taped versions is covered by tests.
 
-// Forward computes x·W + b without recording gradients.
+// Forward computes x·W + b without recording gradients. The result is
+// pool-allocated; callers that discard it should tensor.Put it.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.MatMul(x, l.W.Value)
-	for i := 0; i < out.Rows; i++ {
-		row := out.Row(i)
-		for j, b := range l.B.Value.Data {
-			row[j] += b
-		}
-	}
+	out := tensor.Get(x.Rows, l.Out)
+	tensor.MatMulInto(out, x, l.W.Value)
+	out.AddRowVecInPlace(l.B.Value)
 	return out
 }
 
-func applyActValue(m *tensor.Matrix, a Activation) *tensor.Matrix {
+func applyActValueInPlace(m *tensor.Matrix, a Activation) {
 	switch a {
 	case ActReLU:
-		return m.Apply(func(v float64) float64 { return math.Max(0, v) })
+		m.ApplyInPlace(func(v float64) float64 { return math.Max(0, v) })
 	case ActLeakyReLU:
-		return m.Apply(func(v float64) float64 {
+		m.ApplyInPlace(func(v float64) float64 {
 			if v > 0 {
 				return v
 			}
 			return 0.2 * v
 		})
 	case ActTanh:
-		return m.Apply(math.Tanh)
+		m.ApplyInPlace(math.Tanh)
 	case ActSigmoid:
-		return m.Apply(tensor.Sigmoid)
-	default:
-		return m
+		m.ApplyInPlace(tensor.Sigmoid)
 	}
 }
 
-// Forward runs the MLP without recording gradients.
+// Forward runs the MLP without recording gradients. Hidden-layer
+// intermediates go back to the arena; only the returned matrix survives.
 func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	cur := x
 	for i, l := range m.Layers {
-		x = l.Forward(x)
+		nxt := l.Forward(cur)
 		if i+1 < len(m.Layers) {
-			x = applyActValue(x, m.Hidden)
+			applyActValueInPlace(nxt, m.Hidden)
 		} else {
-			x = applyActValue(x, m.OutAct)
+			applyActValueInPlace(nxt, m.OutAct)
 		}
+		if cur != x {
+			tensor.Put(cur)
+		}
+		cur = nxt
 	}
-	return x
+	return cur
 }
 
-// Forward computes one GRU update without recording gradients.
+// Forward computes one GRU update without recording gradients. All gate
+// buffers are recycled; the returned state is pool-allocated.
 func (g *GRUCell) Forward(x, h *tensor.Matrix) *tensor.Matrix {
-	lin := func(w, u *Param, b *Param) *tensor.Matrix {
-		out := tensor.MatMul(x, w.Value)
-		out.AddInPlace(tensor.MatMul(h, u.Value))
-		for i := 0; i < out.Rows; i++ {
-			row := out.Row(i)
-			for j, bv := range b.Value.Data {
-				row[j] += bv
-			}
-		}
+	gate := func(w, u, b *Param, act Activation) *tensor.Matrix {
+		out := tensor.Get(x.Rows, g.HiddenDim)
+		tensor.MatMulInto(out, x, w.Value)
+		tensor.MatMulInto(out, h, u.Value)
+		out.AddRowVecInPlace(b.Value)
+		applyActValueInPlace(out, act)
 		return out
 	}
-	z := lin(g.Wz, g.Uz, g.Bz).Apply(tensor.Sigmoid)
-	r := lin(g.Wr, g.Ur, g.Br).Apply(tensor.Sigmoid)
-	rh := h.Clone()
-	for i := range rh.Data {
-		rh.Data[i] *= r.Data[i]
+	z := gate(g.Wz, g.Uz, g.Bz, ActSigmoid)
+	r := gate(g.Wr, g.Ur, g.Br, ActSigmoid)
+	// r ⊙ h reuses the r buffer; r is not needed afterwards.
+	for i := range r.Data {
+		r.Data[i] *= h.Data[i]
 	}
-	ht := tensor.MatMul(x, g.Wh.Value)
-	ht.AddInPlace(tensor.MatMul(rh, g.Uh.Value))
-	for i := 0; i < ht.Rows; i++ {
-		row := ht.Row(i)
-		for j, bv := range g.Bh.Value.Data {
-			row[j] += bv
-		}
+	ht := tensor.Get(x.Rows, g.HiddenDim)
+	tensor.MatMulInto(ht, x, g.Wh.Value)
+	tensor.MatMulInto(ht, r, g.Uh.Value)
+	ht.AddRowVecInPlace(g.Bh.Value)
+	ht.ApplyInPlace(math.Tanh)
+	out := tensor.Get(h.Rows, h.Cols)
+	for i, hv := range h.Data {
+		out.Data[i] = hv + z.Data[i]*(ht.Data[i]-hv)
 	}
-	ht = ht.Apply(math.Tanh)
-	out := h.Clone()
-	for i := range out.Data {
-		out.Data[i] += z.Data[i] * (ht.Data[i] - out.Data[i])
-	}
+	tensor.Put(z)
+	tensor.Put(r)
+	tensor.Put(ht)
 	return out
 }

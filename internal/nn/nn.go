@@ -67,10 +67,15 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // Params implements Module.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
-// Apply computes x·W + b on the tape.
+// Apply computes x·W + b on the tape as a single fused node.
 func (l *Linear) Apply(c *Ctx, x *tensor.Node) *tensor.Node {
-	t := c.Tape
-	return t.AddRowVec(t.MatMul(x, c.Var(l.W)), c.Var(l.B))
+	return c.Tape.Affine(x, c.Var(l.W), c.Var(l.B), tensor.ActIdent)
+}
+
+// ApplyAct computes act(x·W + b) on the tape with the activation fused
+// into the affine node, avoiding the intermediate pre-activation matrix.
+func (l *Linear) ApplyAct(c *Ctx, x *tensor.Node, act Activation) *tensor.Node {
+	return c.Tape.Affine(x, c.Var(l.W), c.Var(l.B), fusedAct(act))
 }
 
 // Activation selects the nonlinearity used between MLP layers.
@@ -97,6 +102,23 @@ func applyAct(t *tensor.Tape, x *tensor.Node, a Activation) *tensor.Node {
 		return t.Sigmoid(x)
 	default:
 		return x
+	}
+}
+
+// fusedAct maps an Activation onto the tensor package's fusable set.
+// ActLeakyReLU relies on both packages using slope 0.2.
+func fusedAct(a Activation) tensor.Act {
+	switch a {
+	case ActReLU:
+		return tensor.ActReLU
+	case ActLeakyReLU:
+		return tensor.ActLeakyReLU
+	case ActTanh:
+		return tensor.ActTanh
+	case ActSigmoid:
+		return tensor.ActSigmoid
+	default:
+		return tensor.ActIdent
 	}
 }
 
@@ -129,14 +151,14 @@ func (m *MLP) Params() []*Param {
 	return out
 }
 
-// Apply runs the MLP forward on the tape.
+// Apply runs the MLP forward on the tape, one fused affine+activation
+// node per layer.
 func (m *MLP) Apply(c *Ctx, x *tensor.Node) *tensor.Node {
 	for i, l := range m.Layers {
-		x = l.Apply(c, x)
 		if i+1 < len(m.Layers) {
-			x = applyAct(c.Tape, x, m.Hidden)
+			x = l.ApplyAct(c, x, m.Hidden)
 		} else {
-			x = applyAct(c.Tape, x, m.OutAct)
+			x = l.ApplyAct(c, x, m.OutAct)
 		}
 	}
 	return x
@@ -175,18 +197,16 @@ func (g *GRUCell) Params() []*Param {
 	return []*Param{g.Wz, g.Wr, g.Wh, g.Uz, g.Ur, g.Uh, g.Bz, g.Br, g.Bh}
 }
 
-// Step computes one GRU update on the tape.
+// Step computes one GRU update on the tape. Each gate is a single fused
+// Affine2 node (x·W + h·U + b with the activation folded in), and the
+// state blend h' = (1-z)⊙h + z⊙h̃ is one Lerp node — five nodes per step
+// instead of nineteen in the unfused form.
 func (g *GRUCell) Step(c *Ctx, x, h *tensor.Node) *tensor.Node {
 	t := c.Tape
-	wz, wr, wh := c.Var(g.Wz), c.Var(g.Wr), c.Var(g.Wh)
-	uz, ur, uh := c.Var(g.Uz), c.Var(g.Ur), c.Var(g.Uh)
-	bz, br, bh := c.Var(g.Bz), c.Var(g.Br), c.Var(g.Bh)
-
-	z := t.Sigmoid(t.AddRowVec(t.Add(t.MatMul(x, wz), t.MatMul(h, uz)), bz))
-	r := t.Sigmoid(t.AddRowVec(t.Add(t.MatMul(x, wr), t.MatMul(h, ur)), br))
-	hTilde := t.Tanh(t.AddRowVec(t.Add(t.MatMul(x, wh), t.MatMul(t.Mul(r, h), uh)), bh))
-	// h' = (1-z)⊙h + z⊙h̃ = h + z⊙(h̃ - h)
-	return t.Add(h, t.Mul(z, t.Sub(hTilde, h)))
+	z := t.Affine2(x, c.Var(g.Wz), h, c.Var(g.Uz), c.Var(g.Bz), tensor.ActSigmoid)
+	r := t.Affine2(x, c.Var(g.Wr), h, c.Var(g.Ur), c.Var(g.Br), tensor.ActSigmoid)
+	hTilde := t.Affine2(x, c.Var(g.Wh), t.Mul(r, h), c.Var(g.Uh), c.Var(g.Bh), tensor.ActTanh)
+	return t.Lerp(h, hTilde, z)
 }
 
 // Time2Vec implements the temporal embedding of Kazemi et al. (Eq. 13):

@@ -11,6 +11,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"vrdag/internal/core"
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/metrics"
+	"vrdag/internal/tensor"
 )
 
 // Config tunes the service; zero values select the documented defaults.
@@ -160,16 +162,37 @@ func (s *Server) drawSeed() int64 {
 	return s.seeder.Int63()
 }
 
+// encodeBufs recycles response-encoding buffers across requests: generated
+// sequences serialise to megabytes of JSON, and encoding into a pooled
+// buffer before the single Write both reuses that memory and keeps
+// malformed responses (non-finite floats) from escaping half-written.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledEncodeBuf bounds the buffers worth recycling; one-off giant
+// responses go back to the GC instead of pinning their capacity.
+const maxPooledEncodeBuf = 8 << 20
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
-		// Usually the client hung up, but encode also fails on non-finite
-		// floats — after the status line is out, a log line is the only
-		// trace left of either.
+		encodeBufs.Put(buf)
 		s.logger.Printf("ERROR encode response: %v", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":"response encoding failed"}`+"\n")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := buf.WriteTo(w); err != nil {
+		// The client hung up; a log line is the only trace left.
+		s.logger.Printf("ERROR write response: %v", err)
+	}
+	if buf.Cap() <= maxPooledEncodeBuf {
+		encodeBufs.Put(buf)
 	}
 }
 
@@ -314,7 +337,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp.Seed = seed
 	resp.T = t
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.Runtime = readRuntimeStats()
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// readRuntimeStats snapshots allocator, GC, and tensor-arena counters so
+// the effect of buffer reuse on the serving path is observable from the
+// metrics endpoint.
+func readRuntimeStats() *RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ps := tensor.ReadPoolStats()
+	return &RuntimeStats{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+		GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
+		Goroutines:      runtime.NumGoroutine(),
+		PoolGets:        ps.Gets,
+		PoolHits:        ps.Hits,
+		PoolRetainedB:   ps.RetainedBytes,
+	}
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

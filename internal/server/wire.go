@@ -39,6 +39,22 @@ type MetricsResponse struct {
 	Structure metrics.StructureReport `json:"structure"`
 	AttrJSD   *float64                `json:"attr_jsd,omitempty"`
 	AttrEMD   *float64                `json:"attr_emd,omitempty"`
+	Runtime   *RuntimeStats           `json:"runtime,omitempty"`
+}
+
+// RuntimeStats reports allocator, garbage-collector, and tensor-arena
+// health alongside the fidelity metrics, so the serving layer's memory
+// behaviour under load is observable without attaching a profiler.
+type RuntimeStats struct {
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalMS  float64 `json:"gc_pause_total_ms"`
+	Goroutines      int     `json:"goroutines"`
+	PoolGets        int64   `json:"tensor_pool_gets"`
+	PoolHits        int64   `json:"tensor_pool_hits"`
+	PoolRetainedB   int64   `json:"tensor_pool_retained_bytes"`
 }
 
 // ModelInfo is one entry of GET /v1/models.

@@ -26,19 +26,31 @@ func BenchmarkMatMul256(b *testing.B) {
 	}
 }
 
-func BenchmarkSpMM(b *testing.B) {
+func benchCSR(n, nnz int) (*CSR, *Matrix) {
 	rng := rand.New(rand.NewSource(2))
-	n := 1024
 	var ri, ci []int
-	for i := 0; i < n*8; i++ {
+	for i := 0; i < nnz; i++ {
 		ri = append(ri, rng.Intn(n))
 		ci = append(ci, rng.Intn(n))
 	}
-	s := NewCSR(n, n, ri, ci, nil)
-	d := Randn(n, 32, 1, rng)
+	return NewCSR(n, n, ri, ci, nil), Randn(n, 32, 1, rng)
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	s, d := benchCSR(1024, 1024*8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.MulDense(d)
+		Put(s.MulDense(d))
+	}
+}
+
+// BenchmarkSpMMT measures the transposed product through the memoised
+// gather index (the SpMM backward path).
+func BenchmarkSpMMT(b *testing.B) {
+	s, d := benchCSR(1024, 1024*8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Put(s.MulDenseT(d))
 	}
 }
 
@@ -56,6 +68,28 @@ func BenchmarkTapeForwardBackwardMLP(b *testing.B) {
 		h := tp.Tanh(tp.MatMul(tp.Const(x), a))
 		out := tp.MatMul(h, c)
 		tp.Backward(tp.MSELoss(out, y))
+	}
+}
+
+// BenchmarkTapeStepPooled is the steady-state training-step shape: one
+// tape reused across iterations with Reset returning every buffer to the
+// arena. Compare its allocs/op with BenchmarkTapeForwardBackwardMLP to
+// see what the pool removes.
+func BenchmarkTapeStepPooled(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	w1 := Randn(32, 64, 0.1, rng)
+	b1 := Randn(1, 64, 0.1, rng)
+	w2 := Randn(64, 8, 0.1, rng)
+	b2 := Randn(1, 8, 0.1, rng)
+	x := Randn(128, 32, 1, rng)
+	y := Randn(128, 8, 1, rng)
+	tp := NewTape()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := tp.Affine(tp.Const(x), tp.Var(w1), tp.Var(b1), ActTanh)
+		out := tp.Affine(h, tp.Var(w2), tp.Var(b2), ActIdent)
+		tp.Backward(tp.MSELoss(out, y))
+		tp.Reset()
 	}
 }
 

@@ -172,35 +172,55 @@ func (m *Matrix) Axpy(a float64, o *Matrix) {
 	}
 }
 
-// MatMul returns a*b using a cache-friendly ikj loop order. Large
-// products (≥ parallelThreshold result rows with enough work per row)
-// fan out across GOMAXPROCS goroutines; the row partition is
-// deterministic, so results are bit-identical to the serial path.
+// MatMul returns a*b using a cache-blocked ikj loop order, allocated from
+// the pooled arena. Large products (≥ parallelThreshold result rows with
+// enough work per row) fan out across GOMAXPROCS goroutines; the row
+// partition is deterministic and each output row is owned by exactly one
+// worker, so results are bit-identical to the serial path.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %s x %s", a.shape(), b.shape()))
 	}
-	out := New(a.Rows, b.Cols)
+	out := Get(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto accumulates a·b into out (out += a·b). out must already have
+// shape a.Rows×b.Cols; writing into a pooled or reused buffer avoids the
+// per-product allocation of MatMul. Parallelises exactly like MatMul.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %s x %s -> %s", a.shape(), b.shape(), out.shape()))
+	}
 	if a.Rows >= parallelThreshold && a.Cols*b.Cols >= 4096 {
 		parallelRows(a.Rows, func(lo, hi int) {
 			sub := &Matrix{Rows: hi - lo, Cols: a.Cols, Data: a.Data[lo*a.Cols : hi*a.Cols]}
 			osub := &Matrix{Rows: hi - lo, Cols: b.Cols, Data: out.Data[lo*b.Cols : hi*b.Cols]}
 			matMulInto(osub, sub, b, false, false)
 		})
-		return out
+		return
 	}
 	matMulInto(out, a, b, false, false)
-	return out
 }
 
 // parallelThreshold is the minimum row count before MatMul fans out.
 const parallelThreshold = 128
 
-// parallelRows splits [0, n) into contiguous chunks, one per worker.
+// matMulKBlock is the panel height of the blocked kernel: 128 rows of b
+// stay resident in L2 while every output row streams past them.
+const matMulKBlock = 128
+
+// parallelRows splits [0, n) into contiguous chunks, one per worker. With
+// a single worker f runs on the calling goroutine.
 func parallelRows(n int, f func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -221,23 +241,49 @@ func parallelRows(n int, f func(lo, hi int)) {
 	wg.Wait()
 }
 
+// axpyRow computes dst += a*src over equal-length slices. The 4-way
+// unroll amortises loop control and keeps throughput stable regardless of
+// how the enclosing loop's branches land on decode-window boundaries; it
+// preserves ascending-index accumulation order, so callers stay
+// bit-identical to a plain loop.
+func axpyRow(dst, src []float64, a float64) {
+	n := len(src)
+	dst = dst[:n]
+	j := 0
+	for ; j+3 < n; j += 4 {
+		dst[j] += a * src[j]
+		dst[j+1] += a * src[j+1]
+		dst[j+2] += a * src[j+2]
+		dst[j+3] += a * src[j+3]
+	}
+	for ; j < n; j++ {
+		dst[j] += a * src[j]
+	}
+}
+
 // matMulInto computes out += opA(a) * opB(b) where opX transposes when the
 // corresponding flag is set. out must be pre-shaped; it is accumulated into.
+// The untransposed case blocks over k so the active panel of b stays in
+// cache; per output element the accumulation order is unchanged (ascending
+// p), keeping results bit-identical to the unblocked kernel.
 func matMulInto(out, a, b *Matrix, ta, tb bool) {
 	switch {
 	case !ta && !tb: // (m,k)x(k,n)
 		m, k, n := a.Rows, a.Cols, b.Cols
-		for i := 0; i < m; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
+		for k0 := 0; k0 < k; k0 += matMulKBlock {
+			k1 := k0 + matMulKBlock
+			if k1 > k {
+				k1 = k
+			}
+			for i := 0; i < m; i++ {
+				arow := a.Data[i*k+k0 : i*k+k1]
+				orow := out.Data[i*n : (i+1)*n]
+				for pi, av := range arow {
+					if av == 0 {
+						continue
+					}
+					p := k0 + pi
+					axpyRow(orow, b.Data[p*n:(p+1)*n], av)
 				}
 			}
 		}
@@ -251,10 +297,7 @@ func matMulInto(out, a, b *Matrix, ta, tb bool) {
 				if av == 0 {
 					continue
 				}
-				orow := out.Data[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
+				axpyRow(out.Data[i*n:(i+1)*n], brow, av)
 			}
 		}
 	case !ta && tb: // (m,k) x (n,k)^T
@@ -305,6 +348,27 @@ func (m *Matrix) Apply(f func(float64) float64) *Matrix {
 		out.Data[i] = f(v)
 	}
 	return out
+}
+
+// ApplyInPlace applies f elementwise, overwriting m. The hot tape-free
+// forward paths use it to skip the output allocation of Apply.
+func (m *Matrix) ApplyInPlace(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// AddRowVecInPlace adds the 1×cols row vector b to every row of m (bias add).
+func (m *Matrix) AddRowVecInPlace(b *Matrix) {
+	if b.Rows != 1 || b.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVecInPlace needs 1x%d bias, got %s", m.Cols, b.shape()))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range b.Data {
+			row[j] += v
+		}
+	}
 }
 
 // Sum returns the sum of all entries.

@@ -12,9 +12,11 @@ func (t *Tape) Add(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("tensor: Add shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	out := a.Value.Clone()
-	out.AddInPlace(b.Value)
-	n := t.record(out, anyGrad(a, b), nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = v + b.Value.Data[i]
+	}
+	n := t.op(out, anyGrad(a, b))
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().AddInPlace(n.Grad)
@@ -31,9 +33,11 @@ func (t *Tape) Sub(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("tensor: Sub shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	out := a.Value.Clone()
-	out.Axpy(-1, b.Value)
-	n := t.record(out, anyGrad(a, b), nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = v - b.Value.Data[i]
+	}
+	n := t.op(out, anyGrad(a, b))
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().AddInPlace(n.Grad)
@@ -50,11 +54,11 @@ func (t *Tape) Mul(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	out := New(a.Value.Rows, a.Value.Cols)
+	out := Get(a.Value.Rows, a.Value.Cols)
 	for i := range out.Data {
 		out.Data[i] = a.Value.Data[i] * b.Value.Data[i]
 	}
-	n := t.record(out, anyGrad(a, b), nil)
+	n := t.op(out, anyGrad(a, b))
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -74,9 +78,11 @@ func (t *Tape) Mul(a, b *Node) *Node {
 
 // Scale returns s*a.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	out := a.Value.Clone()
-	out.ScaleInPlace(s)
-	n := t.record(out, a.needGrad, nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = v * s
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().Axpy(s, n.Grad)
@@ -87,8 +93,11 @@ func (t *Tape) Scale(a *Node, s float64) *Node {
 
 // AddScalar returns a + s elementwise.
 func (t *Tape) AddScalar(a *Node, s float64) *Node {
-	out := a.Value.Apply(func(v float64) float64 { return v + s })
-	n := t.record(out, a.needGrad, nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = v + s
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().AddInPlace(n.Grad)
@@ -102,14 +111,10 @@ func (t *Tape) AddRowVec(a, b *Node) *Node {
 	if b.Value.Rows != 1 || b.Value.Cols != a.Value.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVec needs 1x%d bias, got %s", a.Value.Cols, b.Value.shape()))
 	}
-	out := a.Value.Clone()
-	for i := 0; i < out.Rows; i++ {
-		row := out.Row(i)
-		for j, v := range b.Value.Data {
-			row[j] += v
-		}
-	}
-	n := t.record(out, anyGrad(a, b), nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	copy(out.Data, a.Value.Data)
+	out.AddRowVecInPlace(b.Value)
+	n := t.op(out, anyGrad(a, b))
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().AddInPlace(n.Grad)
@@ -132,7 +137,7 @@ func (t *Tape) MulColVec(a, b *Node) *Node {
 	if b.Value.Cols != 1 || b.Value.Rows != a.Value.Rows {
 		panic(fmt.Sprintf("tensor: MulColVec needs %dx1 column, got %s", a.Value.Rows, b.Value.shape()))
 	}
-	out := New(a.Value.Rows, a.Value.Cols)
+	out := Get(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < out.Rows; i++ {
 		s := b.Value.Data[i]
 		arow := a.Value.Row(i)
@@ -141,7 +146,7 @@ func (t *Tape) MulColVec(a, b *Node) *Node {
 			orow[j] = arow[j] * s
 		}
 	}
-	n := t.record(out, anyGrad(a, b), nil)
+	n := t.op(out, anyGrad(a, b))
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -175,7 +180,7 @@ func (t *Tape) MulColVec(a, b *Node) *Node {
 // MatMul returns a·b with full gradient support for both operands.
 func (t *Tape) MatMul(a, b *Node) *Node {
 	out := MatMul(a.Value, b.Value)
-	n := t.record(out, anyGrad(a, b), nil)
+	n := t.op(out, anyGrad(a, b))
 	n.backward = func() {
 		if a.needGrad { // dA = dOut · Bᵀ
 			matMulInto(a.grad(), n.Grad, b.Value, false, true)
@@ -188,13 +193,206 @@ func (t *Tape) MatMul(a, b *Node) *Node {
 }
 
 // SpMM returns s·a where s is a constant sparse matrix (graph adjacency).
-// The gradient flows only into a: dA = sᵀ · dOut.
+// The gradient flows only into a: dA = sᵀ · dOut, accumulated directly
+// into the gradient buffer without an intermediate matrix.
 func (t *Tape) SpMM(s *CSR, a *Node) *Node {
 	out := s.MulDense(a.Value)
-	n := t.record(out, a.needGrad, nil)
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
-			a.grad().AddInPlace(s.MulDenseT(n.Grad))
+			s.MulDenseTInto(a.grad(), n.Grad)
+		}
+	}
+	return n
+}
+
+// ---- Fused affine ops ----
+
+// Act selects an activation fused into Affine/Affine2. Every supported
+// activation's derivative is recoverable from its output, so the fused
+// backward needs no pre-activation buffer.
+type Act int
+
+// Fusable activations.
+const (
+	ActIdent Act = iota
+	ActReLU
+	ActLeakyReLU // slope 0.2
+	ActTanh
+	ActSigmoid
+)
+
+func applyActSlice(data []float64, act Act) {
+	switch act {
+	case ActReLU:
+		for i, v := range data {
+			if v < 0 {
+				data[i] = 0
+			}
+		}
+	case ActLeakyReLU:
+		for i, v := range data {
+			if v < 0 {
+				data[i] = 0.2 * v
+			}
+		}
+	case ActTanh:
+		for i, v := range data {
+			data[i] = math.Tanh(v)
+		}
+	case ActSigmoid:
+		for i, v := range data {
+			data[i] = sigmoid(v)
+		}
+	}
+}
+
+// actGradFromOutput returns d act(x)/dx expressed through y = act(x).
+func actGradFromOutput(y float64, act Act) float64 {
+	switch act {
+	case ActReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case ActLeakyReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0.2
+	case ActTanh:
+		return 1 - y*y
+	case ActSigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// preGrad turns the output gradient of a fused activation into the
+// pre-activation gradient. For ActIdent it is the output gradient itself;
+// otherwise a pooled scratch buffer is returned that the caller must Put.
+func preGrad(out, grad *Matrix, act Act) (dPre *Matrix, scratch bool) {
+	if act == ActIdent {
+		return grad, false
+	}
+	d := Get(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		d.Data[i] = g * actGradFromOutput(out.Data[i], act)
+	}
+	return d, true
+}
+
+// Affine computes act(x·W + b) as a single tape node: one output buffer
+// and one backward closure replace the MatMul → AddRowVec → activation
+// chain (three nodes, three full-size intermediates) of the unfused form.
+func (t *Tape) Affine(x, w, b *Node, act Act) *Node {
+	if b.Value.Rows != 1 || b.Value.Cols != w.Value.Cols {
+		panic(fmt.Sprintf("tensor: Affine needs 1x%d bias, got %s", w.Value.Cols, b.Value.shape()))
+	}
+	out := Get(x.Value.Rows, w.Value.Cols)
+	MatMulInto(out, x.Value, w.Value)
+	out.AddRowVecInPlace(b.Value)
+	applyActSlice(out.Data, act)
+	n := t.op(out, anyGrad(x, w, b))
+	n.backward = func() {
+		dPre, scratch := preGrad(out, n.Grad, act)
+		if x.needGrad {
+			matMulInto(x.grad(), dPre, w.Value, false, true)
+		}
+		if w.needGrad {
+			matMulInto(w.grad(), x.Value, dPre, true, false)
+		}
+		if b.needGrad {
+			g := b.grad()
+			for i := 0; i < dPre.Rows; i++ {
+				row := dPre.Row(i)
+				for j := range g.Data {
+					g.Data[j] += row[j]
+				}
+			}
+		}
+		if scratch {
+			Put(dPre)
+		}
+	}
+	return n
+}
+
+// Affine2 computes act(x·Wx + h·Wh + b) as a single node — the shape of
+// every GRU gate. Fusing the two products and the bias removes four
+// intermediate nodes per gate from the tape.
+func (t *Tape) Affine2(x, wx, h, wh, b *Node, act Act) *Node {
+	if b.Value.Rows != 1 || b.Value.Cols != wx.Value.Cols || wx.Value.Cols != wh.Value.Cols {
+		panic(fmt.Sprintf("tensor: Affine2 bias/width mismatch %s vs %s vs %s",
+			wx.Value.shape(), wh.Value.shape(), b.Value.shape()))
+	}
+	out := Get(x.Value.Rows, wx.Value.Cols)
+	MatMulInto(out, x.Value, wx.Value)
+	MatMulInto(out, h.Value, wh.Value)
+	out.AddRowVecInPlace(b.Value)
+	applyActSlice(out.Data, act)
+	n := t.op(out, anyGrad(x, wx, h, wh, b))
+	n.backward = func() {
+		dPre, scratch := preGrad(out, n.Grad, act)
+		if x.needGrad {
+			matMulInto(x.grad(), dPre, wx.Value, false, true)
+		}
+		if wx.needGrad {
+			matMulInto(wx.grad(), x.Value, dPre, true, false)
+		}
+		if h.needGrad {
+			matMulInto(h.grad(), dPre, wh.Value, false, true)
+		}
+		if wh.needGrad {
+			matMulInto(wh.grad(), h.Value, dPre, true, false)
+		}
+		if b.needGrad {
+			g := b.grad()
+			for i := 0; i < dPre.Rows; i++ {
+				row := dPre.Row(i)
+				for j := range g.Data {
+					g.Data[j] += row[j]
+				}
+			}
+		}
+		if scratch {
+			Put(dPre)
+		}
+	}
+	return n
+}
+
+// Lerp returns (1-z)⊙a + z⊙b — the GRU state blend h + z⊙(h̃-h) — as one
+// node instead of the Sub/Mul/Add chain.
+func (t *Tape) Lerp(a, b, z *Node) *Node {
+	if !a.Value.SameShape(b.Value) || !a.Value.SameShape(z.Value) {
+		panic(fmt.Sprintf("tensor: Lerp shape mismatch %s vs %s vs %s",
+			a.Value.shape(), b.Value.shape(), z.Value.shape()))
+	}
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, av := range a.Value.Data {
+		out.Data[i] = av + z.Value.Data[i]*(b.Value.Data[i]-av)
+	}
+	n := t.op(out, anyGrad(a, b, z))
+	n.backward = func() {
+		if a.needGrad {
+			g := a.grad()
+			for i := range g.Data {
+				g.Data[i] += n.Grad.Data[i] * (1 - z.Value.Data[i])
+			}
+		}
+		if b.needGrad {
+			g := b.grad()
+			for i := range g.Data {
+				g.Data[i] += n.Grad.Data[i] * z.Value.Data[i]
+			}
+		}
+		if z.needGrad {
+			g := z.grad()
+			for i := range g.Data {
+				g.Data[i] += n.Grad.Data[i] * (b.Value.Data[i] - a.Value.Data[i])
+			}
 		}
 	}
 	return n
@@ -204,8 +402,11 @@ func (t *Tape) SpMM(s *CSR, a *Node) *Node {
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	out := a.Value.Apply(sigmoid)
-	n := t.record(out, a.needGrad, nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = sigmoid(v)
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -220,8 +421,11 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 
 // Tanh applies tanh elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	out := a.Value.Apply(math.Tanh)
-	n := t.record(out, a.needGrad, nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -236,8 +440,11 @@ func (t *Tape) Tanh(a *Node) *Node {
 
 // ReLU applies max(0,x) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	out := a.Value.Apply(func(v float64) float64 { return math.Max(0, v) })
-	n := t.record(out, a.needGrad, nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = math.Max(0, v)
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -253,13 +460,15 @@ func (t *Tape) ReLU(a *Node) *Node {
 
 // LeakyReLU applies x if x>0 else slope*x, elementwise.
 func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
-	out := a.Value.Apply(func(v float64) float64 {
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
 		if v > 0 {
-			return v
+			out.Data[i] = v
+		} else {
+			out.Data[i] = slope * v
 		}
-		return slope * v
-	})
-	n := t.record(out, a.needGrad, nil)
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -278,8 +487,11 @@ func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
 // Exp applies e^x elementwise. Inputs are clamped to 40 before
 // exponentiation to keep training numerically stable.
 func (t *Tape) Exp(a *Node) *Node {
-	out := a.Value.Apply(func(v float64) float64 { return math.Exp(math.Min(v, 40)) })
-	n := t.record(out, a.needGrad, nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = math.Exp(math.Min(v, 40))
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -293,8 +505,11 @@ func (t *Tape) Exp(a *Node) *Node {
 
 // Log applies ln(max(x, 1e-12)) elementwise.
 func (t *Tape) Log(a *Node) *Node {
-	out := a.Value.Apply(func(v float64) float64 { return math.Log(math.Max(v, 1e-12)) })
-	n := t.record(out, a.needGrad, nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = math.Log(math.Max(v, 1e-12))
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -308,8 +523,11 @@ func (t *Tape) Log(a *Node) *Node {
 
 // Sin applies sin elementwise (used by Time2Vec temporal embeddings).
 func (t *Tape) Sin(a *Node) *Node {
-	out := a.Value.Apply(math.Sin)
-	n := t.record(out, a.needGrad, nil)
+	out := Get(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		out.Data[i] = math.Sin(v)
+	}
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -323,11 +541,11 @@ func (t *Tape) Sin(a *Node) *Node {
 
 // SoftmaxRows applies a numerically stable softmax to each row independently.
 func (t *Tape) SoftmaxRows(a *Node) *Node {
-	out := New(a.Value.Rows, a.Value.Cols)
+	out := Get(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
 		softmaxInto(out.Row(i), a.Value.Row(i))
 	}
-	n := t.record(out, a.needGrad, nil)
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if !a.needGrad {
 			return
@@ -389,7 +607,7 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 		}
 		total += p.Value.Cols
 	}
-	out := New(rows, total)
+	out := Get(rows, total)
 	off := 0
 	for _, p := range parts {
 		c := p.Value.Cols
@@ -398,7 +616,7 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 		}
 		off += c
 	}
-	n := t.record(out, anyGrad(parts...), nil)
+	n := t.op(out, anyGrad(parts...))
 	n.backward = func() {
 		off := 0
 		for _, p := range parts {
@@ -425,11 +643,11 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %s", lo, hi, a.Value.shape()))
 	}
 	rows, w := a.Value.Rows, hi-lo
-	out := New(rows, w)
+	out := Get(rows, w)
 	for i := 0; i < rows; i++ {
 		copy(out.Row(i), a.Value.Row(i)[lo:hi])
 	}
-	n := t.record(out, a.needGrad, nil)
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -448,11 +666,11 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 // GatherRows selects rows of a by index: out[k] = a[idx[k]].
 func (t *Tape) GatherRows(a *Node, idx []int) *Node {
 	cols := a.Value.Cols
-	out := New(len(idx), cols)
+	out := Get(len(idx), cols)
 	for k, i := range idx {
 		copy(out.Row(k), a.Value.Row(i))
 	}
-	n := t.record(out, a.needGrad, nil)
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -475,7 +693,7 @@ func (t *Tape) ScatterAddRows(a *Node, idx []int, outRows int) *Node {
 		panic(fmt.Sprintf("tensor: ScatterAddRows idx len %d != rows %d", len(idx), a.Value.Rows))
 	}
 	cols := a.Value.Cols
-	out := New(outRows, cols)
+	out := Get(outRows, cols)
 	for k, i := range idx {
 		orow := out.Row(i)
 		arow := a.Value.Row(k)
@@ -483,7 +701,7 @@ func (t *Tape) ScatterAddRows(a *Node, idx []int, outRows int) *Node {
 			orow[j] += arow[j]
 		}
 	}
-	n := t.record(out, a.needGrad, nil)
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -518,7 +736,7 @@ func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
 		}
 	}
 	sum := make([]float64, nSeg)
-	out := New(e, 1)
+	out := Get(e, 1)
 	for k := 0; k < e; k++ {
 		v := math.Exp(a.Value.Data[k] - mx[seg[k]])
 		out.Data[k] = v
@@ -529,7 +747,7 @@ func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
 			out.Data[k] /= s
 		}
 	}
-	n := t.record(out, a.needGrad, nil)
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if !a.needGrad {
 			return
@@ -550,9 +768,9 @@ func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
 
 // SumAll reduces a to a 1×1 scalar by summation.
 func (t *Tape) SumAll(a *Node) *Node {
-	out := New(1, 1)
+	out := Get(1, 1)
 	out.Data[0] = a.Value.Sum()
-	n := t.record(out, a.needGrad, nil)
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -569,14 +787,14 @@ func (t *Tape) SumAll(a *Node) *Node {
 func (t *Tape) MeanAll(a *Node) *Node {
 	count := float64(len(a.Value.Data))
 	if count == 0 {
-		return t.Const(New(1, 1))
+		return t.Owned(Get(1, 1))
 	}
 	return t.Scale(t.SumAll(a), 1/count)
 }
 
 // SumRows reduces each row to a single value, producing an N×1 column.
 func (t *Tape) SumRows(a *Node) *Node {
-	out := New(a.Value.Rows, 1)
+	out := Get(a.Value.Rows, 1)
 	for i := 0; i < a.Value.Rows; i++ {
 		s := 0.0
 		for _, v := range a.Value.Row(i) {
@@ -584,7 +802,7 @@ func (t *Tape) SumRows(a *Node) *Node {
 		}
 		out.Data[i] = s
 	}
-	n := t.record(out, a.needGrad, nil)
+	n := t.op(out, a.needGrad)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -616,9 +834,9 @@ func (t *Tape) BCEWithLogits(logits *Node, targets *Matrix) *Node {
 		// max(x,0) - x*y + log(1+exp(-|x|))
 		loss += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
 	}
-	out := New(1, 1)
+	out := Get(1, 1)
 	out.Data[0] = loss / count
-	n := t.record(out, logits.needGrad, nil)
+	n := t.op(out, logits.needGrad)
 	n.backward = func() {
 		if logits.needGrad {
 			g := logits.grad()
@@ -645,9 +863,9 @@ func (t *Tape) BCEProb(p *Node, targets *Matrix) *Node {
 		y := targets.Data[i]
 		loss += -(y*math.Log(v) + (1-y)*math.Log(1-v))
 	}
-	out := New(1, 1)
+	out := Get(1, 1)
 	out.Data[0] = loss / count
-	n := t.record(out, p.needGrad, nil)
+	n := t.op(out, p.needGrad)
 	n.backward = func() {
 		if p.needGrad {
 			g := p.grad()
@@ -689,11 +907,11 @@ func (t *Tape) SCELoss(xhat *Node, x *Matrix, alpha float64) *Node {
 		cos[i] = dot / (nx[i] * nxh[i])
 		loss += math.Pow(math.Max(1-cos[i], 0), alpha)
 	}
-	out := New(1, 1)
+	out := Get(1, 1)
 	if rows > 0 {
 		out.Data[0] = loss / float64(rows)
 	}
-	n := t.record(out, xhat.needGrad, nil)
+	n := t.op(out, xhat.needGrad)
 	n.backward = func() {
 		if !xhat.needGrad || rows == 0 {
 			return
@@ -730,11 +948,11 @@ func (t *Tape) MSELoss(xhat *Node, x *Matrix) *Node {
 		d := v - x.Data[i]
 		loss += d * d
 	}
-	out := New(1, 1)
+	out := Get(1, 1)
 	if count > 0 {
 		out.Data[0] = loss / count
 	}
-	n := t.record(out, xhat.needGrad, nil)
+	n := t.op(out, xhat.needGrad)
 	n.backward = func() {
 		if xhat.needGrad && count > 0 {
 			g := xhat.grad()
@@ -771,9 +989,9 @@ func (t *Tape) GaussianKL(muQ, logSigQ, muP, logSigP *Node) *Node {
 		dm := muQ.Value.Data[i] - muP.Value.Data[i]
 		kl += logSigP.Value.Data[i] - logSigQ.Value.Data[i] + (sq2[i]+dm*dm)/(2*sp2[i]) - 0.5
 	}
-	out := New(1, 1)
+	out := Get(1, 1)
 	out.Data[0] = kl
-	n := t.record(out, anyGrad(muQ, logSigQ, muP, logSigP), nil)
+	n := t.op(out, anyGrad(muQ, logSigQ, muP, logSigP))
 	n.backward = func() {
 		d := n.Grad.Data[0]
 		for i := 0; i < size; i++ {

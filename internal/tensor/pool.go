@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the pooled matrix arena: a process-wide,
+// size-bucketed free list of float64 buffers that the tape, the tape-free
+// forward passes, and the sparse kernels draw their scratch and output
+// matrices from. Training steps and generation requests churn through
+// thousands of short-lived matrices with a small set of recurring shapes;
+// recycling the backing slices removes that load from the garbage
+// collector entirely once the pool is warm.
+//
+// Ownership discipline:
+//
+//   - Get returns a zeroed matrix whose buffer may be recycled. The caller
+//     owns it until it either escapes into a long-lived structure (never
+//     Put — the GC reclaims it as usual) or is explicitly returned with Put.
+//   - Put transfers ownership of the buffer to the arena: it must be
+//     called at most once per matrix, only by the buffer's sole owner, and
+//     neither the matrix nor any view sharing its buffer may be used
+//     afterwards. Buffers with non-bucket capacities (views, odd-size
+//     allocations) are dropped rather than pooled, but that is a
+//     memory-behaviour detail, not a licence to Put shared data.
+//   - Tape-recorded operations allocate their outputs from the pool and
+//     Tape.Reset returns them, so callers of the autodiff layer never Put
+//     manually; they only avoid holding node values across a Reset.
+
+const (
+	minBucketBits = 6  // smallest pooled buffer: 64 floats (512 B)
+	maxBucketBits = 24 // largest pooled buffer: 16Mi floats (128 MB)
+	numBuckets    = maxBucketBits - minBucketBits + 1
+
+	// maxBucketBytes bounds the memory one bucket retains so a burst of
+	// huge intermediates cannot pin unbounded memory.
+	maxBucketBytes = 1 << 25 // 32 MB per bucket
+)
+
+type bucketPool struct {
+	mu   sync.Mutex
+	free [][]float64
+}
+
+var (
+	arena     [numBuckets]bucketPool
+	poolGets  atomic.Int64
+	poolHits  atomic.Int64
+	poolFrees atomic.Int64
+)
+
+// bucketIndex returns the arena bucket for a buffer of n floats, or -1
+// when n is zero or exceeds the largest bucket.
+func bucketIndex(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b < minBucketBits {
+		b = minBucketBits
+	}
+	if b > maxBucketBits {
+		return -1
+	}
+	return b - minBucketBits
+}
+
+// Get returns a zeroed rows×cols matrix backed by a pooled buffer. Shapes
+// too large for the arena fall back to a plain allocation.
+func Get(rows, cols int) *Matrix {
+	n := rows * cols
+	idx := bucketIndex(n)
+	if idx < 0 {
+		return New(rows, cols)
+	}
+	bp := &arena[idx]
+	var data []float64
+	bp.mu.Lock()
+	if k := len(bp.free); k > 0 {
+		data = bp.free[k-1]
+		bp.free[k-1] = nil
+		bp.free = bp.free[:k-1]
+	}
+	bp.mu.Unlock()
+	poolGets.Add(1)
+	if data == nil {
+		data = make([]float64, 1<<(idx+minBucketBits))
+	} else {
+		poolHits.Add(1)
+		data = data[:n]
+		for i := range data {
+			data[i] = 0
+		}
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data[:n]}
+}
+
+// Put returns m's buffer to the arena. The caller relinquishes the buffer:
+// neither m nor any view sharing its backing slice may be used afterwards.
+// Matrices whose backing capacity is not a bucket size (sub-matrix views,
+// odd-size allocations) are dropped rather than pooled.
+func Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	c := cap(m.Data)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	b := bits.TrailingZeros(uint(c))
+	if b < minBucketBits || b > maxBucketBits {
+		return
+	}
+	idx := b - minBucketBits
+	bp := &arena[idx]
+	bp.mu.Lock()
+	if (len(bp.free)+1)*c*8 <= maxBucketBytes {
+		bp.free = append(bp.free, m.Data[:c])
+	}
+	bp.mu.Unlock()
+	poolFrees.Add(1)
+}
+
+// PoolStats is a snapshot of the arena counters; exposed so serving-layer
+// metrics can report buffer-reuse health alongside runtime.MemStats.
+type PoolStats struct {
+	Gets          int64 // pool allocations requested since process start
+	Hits          int64 // requests served by recycling a buffer
+	Puts          int64 // buffers returned
+	RetainedBytes int64 // bytes currently held on free lists
+}
+
+// ReadPoolStats returns current arena counters.
+func ReadPoolStats() PoolStats {
+	s := PoolStats{Gets: poolGets.Load(), Hits: poolHits.Load(), Puts: poolFrees.Load()}
+	for i := range arena {
+		bp := &arena[i]
+		bp.mu.Lock()
+		s.RetainedBytes += int64(len(bp.free)) * int64(8<<(i+minBucketBits))
+		bp.mu.Unlock()
+	}
+	return s
+}

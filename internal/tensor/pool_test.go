@@ -1,0 +1,233 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestGetReturnsZeroedBuffers: recycled buffers must be indistinguishable
+// from fresh allocations, whatever garbage the previous owner left behind.
+func TestGetReturnsZeroedBuffers(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		m := Get(13, 7)
+		for i := range m.Data {
+			m.Data[i] = math.NaN()
+		}
+		Put(m)
+		n := Get(13, 7) // same bucket; likely the recycled buffer
+		if n.Rows != 13 || n.Cols != 7 || len(n.Data) != 13*7 {
+			t.Fatalf("Get(13,7) shape = %dx%d len %d", n.Rows, n.Cols, len(n.Data))
+		}
+		for i, v := range n.Data {
+			if v != 0 {
+				t.Fatalf("trial %d: recycled buffer entry %d = %v, want 0", trial, i, v)
+			}
+		}
+		Put(n)
+	}
+}
+
+// TestPutForeignBufferIgnored: matrices whose capacity is not a bucket
+// size (FromSlice wrappers, odd-size New allocations) must be ignored
+// rather than corrupting the free lists.
+func TestPutForeignBufferIgnored(t *testing.T) {
+	data := make([]float64, 100, 100) // 100 is not a power of two
+	m := FromSlice(10, 10, data)
+	Put(m) // must not panic or enqueue
+	Put(nil)
+	Put(&Matrix{})
+}
+
+// TestTapeResetNotObservable: a computation replayed on a reused tape must
+// produce results identical to a fresh tape, no matter what ran on the
+// tape in between — pooled buffers must never leak state across Reset.
+func TestTapeResetNotObservable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := Randn(9, 5, 1, rng)
+	w := Randn(5, 4, 1, rng)
+	b := Randn(1, 4, 1, rng)
+
+	run := func(tp *Tape) (*Matrix, *Matrix) {
+		xv, wv, bv := tp.Var(x), tp.Var(w), tp.Var(b)
+		out := tp.Affine(xv, wv, bv, ActTanh)
+		loss := tp.MeanAll(tp.Mul(out, out))
+		tp.Backward(loss)
+		return out.Value.Clone(), wv.Grad.Clone()
+	}
+
+	fresh := NewTape()
+	wantOut, wantGrad := run(fresh)
+
+	reused := NewTape()
+	// Pollute the tape and the arena with unrelated work, then Reset.
+	junk := reused.Var(Randn(9, 5, 3, rng))
+	reused.Backward(reused.SumAll(reused.Sigmoid(junk)))
+	reused.Reset()
+
+	gotOut, gotGrad := run(reused)
+	if !gotOut.Equal(wantOut, 0) {
+		t.Fatal("reused tape produced different forward values than a fresh tape")
+	}
+	if !gotGrad.Equal(wantGrad, 0) {
+		t.Fatal("reused tape produced different gradients than a fresh tape")
+	}
+}
+
+// TestTapeResetLeavesLeavesAlone: Var/Const wrap caller-owned matrices;
+// Reset must not recycle (and thus zero or reuse) their buffers.
+func TestTapeResetLeavesLeavesAlone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	param := Randn(6, 6, 1, rng)
+	snapshot := param.Clone()
+	konst := Randn(6, 6, 1, rng)
+	konstCopy := konst.Clone()
+
+	tp := NewTape()
+	v := tp.Var(param)
+	c := tp.Const(konst)
+	tp.Backward(tp.SumAll(tp.Mul(v, c)))
+	tp.Reset()
+
+	// Churn the arena: if Reset wrongly pooled the leaves, these Gets would
+	// hand their buffers to new owners that promptly scribble on them.
+	for i := 0; i < 16; i++ {
+		m := Get(6, 6)
+		for j := range m.Data {
+			m.Data[j] = -1
+		}
+		Put(m)
+	}
+	if !param.Equal(snapshot, 0) {
+		t.Fatal("Reset recycled a Var-wrapped parameter matrix")
+	}
+	if !konst.Equal(konstCopy, 0) {
+		t.Fatal("Reset recycled a Const-wrapped matrix")
+	}
+}
+
+// TestTapeReuseSteadyStateAllocs: after a warm-up window, a reused tape
+// should run its forward+backward pass without growing the heap
+// meaningfully (the point of the arena).
+func TestTapeReuseSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := Randn(64, 32, 1, rng)
+	w := Randn(32, 16, 0.3, rng)
+	b := Randn(1, 16, 0.3, rng)
+	tp := NewTape()
+	step := func() {
+		out := tp.Affine(tp.Const(x), tp.Var(w), tp.Var(b), ActSigmoid)
+		tp.Backward(tp.MeanAll(tp.Mul(out, out)))
+		tp.Reset()
+	}
+	step() // warm the arena and the node free list
+	avg := testing.AllocsPerRun(20, step)
+	// Backward closures and variadic bookkeeping cost a few small objects
+	// per op; matrix buffers do not. An unpooled step allocates ~35 objects
+	// including every full-size intermediate, so 20 catches any matrix
+	// sneaking back onto the heap.
+	if avg > 20 {
+		t.Fatalf("steady-state tape step allocates %.1f objects/run, want <= 20", avg)
+	}
+}
+
+// TestParallelSpMMMatchesDense: the row-partitioned MulDense/MulDenseT
+// paths (forced by a large nnz·cols product) must agree with the dense
+// reference product, and concurrent callers sharing one CSR — as metrics
+// requests share a reference sequence — must be race-free. Run with
+// -race in CI.
+func TestParallelSpMMMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n, cols, nnz = 300, 24, 6000 // nnz*cols well above spmmParallelFlops
+	ri := make([]int, nnz)
+	ci := make([]int, nnz)
+	for k := range ri {
+		ri[k] = rng.Intn(n)
+		ci[k] = rng.Intn(n)
+	}
+	s := NewCSR(n, n, ri, ci, nil)
+	d := Randn(n, cols, 1, rng)
+	wantMul := MatMul(s.Dense(), d)
+	wantMulT := MatMul(s.Dense().Transpose(), d)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				got := s.MulDense(d)
+				if !got.Equal(wantMul, 1e-9) {
+					errs <- "MulDense disagrees with dense product"
+				}
+				Put(got)
+				gotT := s.MulDenseT(d)
+				if !gotT.Equal(wantMulT, 1e-9) {
+					errs <- "MulDenseT disagrees with dense product"
+				}
+				Put(gotT)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestMulDenseTIntoAccumulates: the SpMM backward path adds into an
+// existing gradient buffer; the Into form must accumulate, not overwrite.
+func TestMulDenseTIntoAccumulates(t *testing.T) {
+	s := NewCSR(3, 3, []int{0, 1, 2}, []int{1, 2, 0}, nil)
+	d := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	out := Full(3, 2, 10)
+	s.MulDenseTInto(out, d)
+	want := MatMul(s.Dense().Transpose(), d)
+	for i := range want.Data {
+		want.Data[i] += 10
+	}
+	if !out.Equal(want, 1e-12) {
+		t.Fatalf("MulDenseTInto = %v, want %v", out, want)
+	}
+}
+
+// Fused-op gradient checks, driven through the same finite-difference
+// harness as the rest of the ops.
+func TestGradAffine(t *testing.T) {
+	checkGrad(t, []*Matrix{rnd(4, 3, 41), rnd(3, 2, 42), rnd(1, 2, 43)}, func(tp *Tape, v []*Node) *Node {
+		return tp.MeanAll(tp.Affine(v[0], v[1], v[2], ActTanh))
+	})
+	checkGrad(t, []*Matrix{rnd(4, 3, 44), rnd(3, 2, 45), rnd(1, 2, 46)}, func(tp *Tape, v []*Node) *Node {
+		return tp.MeanAll(tp.Mul(tp.Affine(v[0], v[1], v[2], ActSigmoid), tp.Affine(v[0], v[1], v[2], ActLeakyReLU)))
+	})
+}
+
+func TestGradAffine2(t *testing.T) {
+	params := []*Matrix{rnd(4, 3, 47), rnd(3, 2, 48), rnd(4, 5, 49), rnd(5, 2, 50), rnd(1, 2, 51)}
+	checkGrad(t, params, func(tp *Tape, v []*Node) *Node {
+		return tp.MeanAll(tp.Affine2(v[0], v[1], v[2], v[3], v[4], ActSigmoid))
+	})
+}
+
+func TestGradLerp(t *testing.T) {
+	z := rnd(3, 4, 54).Apply(sigmoid) // gate values in (0,1)
+	checkGrad(t, []*Matrix{rnd(3, 4, 52), rnd(3, 4, 53), z}, func(tp *Tape, v []*Node) *Node {
+		return tp.MeanAll(tp.Lerp(v[0], v[1], v[2]))
+	})
+}
+
+// TestAffineMatchesUnfused: the fused node must be numerically identical
+// to the MatMul → AddRowVec → activation chain it replaces.
+func TestAffineMatchesUnfused(t *testing.T) {
+	x, w, b := rnd(5, 4, 55), rnd(4, 3, 56), rnd(1, 3, 57)
+	fused := NewTape()
+	f := fused.Affine(fused.Const(x), fused.Const(w), fused.Const(b), ActTanh)
+	plain := NewTape()
+	p := plain.Tanh(plain.AddRowVec(plain.MatMul(plain.Const(x), plain.Const(w)), plain.Const(b)))
+	if !f.Value.Equal(p.Value, 0) {
+		t.Fatal("fused Affine disagrees with the unfused chain")
+	}
+}

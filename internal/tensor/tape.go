@@ -9,16 +9,18 @@ type Node struct {
 	Value    *Matrix
 	Grad     *Matrix
 	needGrad bool
+	pooled   bool // Value is arena-owned and reclaimed by Tape.Reset
 	backward func()
 }
 
 // RequiresGrad reports whether gradients are tracked for this node.
 func (n *Node) RequiresGrad() bool { return n.needGrad }
 
-// grad returns the gradient buffer, allocating it on first use.
+// grad returns the gradient buffer, allocating it from the arena on first
+// use; Tape.Reset returns it.
 func (n *Node) grad() *Matrix {
 	if n.Grad == nil {
-		n.Grad = New(n.Value.Rows, n.Value.Cols)
+		n.Grad = Get(n.Value.Rows, n.Value.Cols)
 	}
 	return n.Grad
 }
@@ -26,29 +28,78 @@ func (n *Node) grad() *Matrix {
 // Tape records operations for reverse-mode differentiation. Operations are
 // replayed in reverse order by Backward. A Tape is not safe for concurrent
 // use; build one per training step (or reuse after Reset).
+//
+// Memory model: every operation output and every gradient buffer is
+// allocated from the pooled arena and owned by the tape. Reset returns all
+// of them, so a reused tape (TBPTT windows, repeated epochs) runs with
+// near-zero steady-state allocation. Matrices wrapped by Var and Const are
+// caller-owned and never reclaimed; values that must survive a Reset (the
+// detached hidden state, loss scalars) must be copied out first.
 type Tape struct {
 	nodes []*Node
+	spare []*Node // recycled Node structs, refilled by Reset
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
-// Reset discards all recorded operations so the tape can be reused.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// Reset discards all recorded operations so the tape can be reused,
+// returning every operation output and gradient buffer to the pooled
+// arena. Node values recorded via Var/Const are left untouched. Nodes (and
+// their Value/Grad matrices) must not be used after Reset.
+func (t *Tape) Reset() {
+	for _, n := range t.nodes {
+		if n.pooled {
+			Put(n.Value)
+		}
+		if n.Grad != nil {
+			Put(n.Grad)
+		}
+		*n = Node{}
+		t.spare = append(t.spare, n)
+	}
+	t.nodes = t.nodes[:0]
+}
 
 // Len returns the number of recorded nodes (diagnostics).
 func (t *Tape) Len() int { return len(t.nodes) }
 
-// record appends a node to the tape and returns it.
+// record appends a node to the tape and returns it, reusing a recycled
+// Node struct when one is available.
 func (t *Tape) record(v *Matrix, needGrad bool, backward func()) *Node {
-	n := &Node{Value: v, needGrad: needGrad, backward: backward}
+	var n *Node
+	if k := len(t.spare); k > 0 {
+		n = t.spare[k-1]
+		t.spare[k-1] = nil
+		t.spare = t.spare[:k-1]
+	} else {
+		n = &Node{}
+	}
+	*n = Node{Value: v, needGrad: needGrad, backward: backward}
 	t.nodes = append(t.nodes, n)
 	return n
 }
 
-// Const wraps a matrix as a node that does not require gradients.
+// op records an operation output whose Value buffer is arena-owned (it was
+// allocated with Get) and therefore reclaimed by Reset.
+func (t *Tape) op(v *Matrix, needGrad bool) *Node {
+	n := t.record(v, needGrad, nil)
+	n.pooled = true
+	return n
+}
+
+// Const wraps a matrix as a node that does not require gradients. The
+// matrix is caller-owned: Reset does not reclaim it.
 func (t *Tape) Const(m *Matrix) *Node {
 	return t.record(m, false, nil)
+}
+
+// Owned wraps an arena-allocated matrix (from Get) as a constant node and
+// transfers ownership to the tape: Reset returns the buffer to the arena.
+// Used for per-step constants (input features, reparameterization noise)
+// built fresh inside a training window.
+func (t *Tape) Owned(m *Matrix) *Node {
+	return t.op(m, false)
 }
 
 // Var wraps a matrix as a differentiable leaf (parameter or input requiring

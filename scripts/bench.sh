@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — run the tensor/gnn micro-benchmarks with -benchmem and write
+# the results as JSON, starting the repo's performance trajectory.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 0.5s; CI uses 0.2s)
+#
+# The output is a JSON array of {name, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op} objects, one per benchmark, suitable for diffing across
+# commits or feeding a dashboard.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_tensor.json}"
+benchtime="${BENCHTIME:-0.5s}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" \
+  ./internal/tensor/ ./internal/gnn/ | tee "$raw"
+
+awk '
+  BEGIN { print "["; first = 1 }
+  /^Benchmark/ && $4 == "ns/op" && $6 == "B/op" && $8 == "allocs/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+           name, $2, $3, $5, $7)
+  }
+  END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $(grep -c '"name"' "$out") benchmark results to $out"
