@@ -8,6 +8,12 @@
 // Experiments: table1 table2 fig3 fig4 fig7 fig9 fig9sweep table3 table4
 // fig10 ablation all. Scale 1 reproduces the Table-I dataset sizes (slow
 // on CPU); smaller scales preserve the comparative shapes.
+//
+// -serve switches to the HTTP load benchmark instead: concurrent clients
+// against an in-process server, reporting RPS, p50/p99 latency, and peak
+// RSS per endpoint (unary, streaming, batch):
+//
+//	vrdag-bench -serve -serve-clients 8 -serve-requests 64 -serve-out BENCH_serve.json
 package main
 
 import (
@@ -27,8 +33,32 @@ func main() {
 		scale   = flag.Float64("scale", 0.05, "replica scale factor (1 = paper size)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		epochs  = flag.Int("epochs", 10, "VRDAG training epochs")
+
+		serve         = flag.Bool("serve", false, "run the HTTP serving-path load benchmark instead of paper experiments")
+		serveClients  = flag.Int("serve-clients", 8, "concurrent load-generating clients")
+		serveRequests = flag.Int("serve-requests", 64, "total requests per scenario")
+		serveT        = flag.Int("serve-t", 32, "snapshots per generation request")
+		serveN        = flag.Int("serve-n", 48, "nodes in the benchmark model")
+		serveEpochs   = flag.Int("serve-epochs", 3, "training epochs for the benchmark model")
+		serveOut      = flag.String("serve-out", "", "write serve-bench JSON here (default stdout)")
 	)
 	flag.Parse()
+
+	if *serve {
+		err := runServeBench(serveOptions{
+			clients:  *serveClients,
+			requests: *serveRequests,
+			t:        *serveT,
+			n:        *serveN,
+			epochs:   *serveEpochs,
+			seed:     *seed,
+			out:      *serveOut,
+		})
+		if err != nil {
+			log.Fatalf("vrdag-bench: serve: %v", err)
+		}
+		return
+	}
 
 	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs}
 	w := os.Stdout

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vrdag/internal/core"
+	"vrdag/internal/datasets"
+	"vrdag/internal/server"
+)
+
+// The -serve load mode benchmarks the HTTP serving path end to end:
+// concurrent clients against an in-process httptest server, one scenario
+// per endpoint (unary, NDJSON streaming, batch), reporting sustained RPS,
+// p50/p99 latency, and the process's peak RSS during the load phase. Its
+// JSON output (BENCH_serve.json via scripts/bench.sh serve) sits next to
+// the micro-kernel numbers in BENCH_tensor.json so the serving layer's
+// throughput trajectory is tracked commit over commit, not just the
+// kernels'.
+
+type serveOptions struct {
+	clients  int
+	requests int
+	t        int
+	n        int
+	epochs   int
+	seed     int64
+	out      string
+}
+
+type serveResult struct {
+	Name         string  `json:"name"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	T            int     `json:"t"`
+	RPS          float64 `json:"rps"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	Errors       int     `json:"errors"`
+	Snapshots    int64   `json:"snapshots"` // total snapshots received across requests
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+}
+
+func runServeBench(o serveOptions) error {
+	g := datasets.Generate(datasets.Config{
+		Name: "bench", N: o.n, T: 8, F: 2, EdgesPerStep: 2 * o.n, Communities: 3, Seed: o.seed,
+	})
+	cfg := core.DefaultConfig(g.N, g.F)
+	cfg.Epochs = o.epochs
+	cfg.Seed = o.seed
+	m := core.New(cfg)
+	fmt.Fprintf(os.Stderr, "serve-bench: training N=%d F=%d T=%d (%d params, %d epochs)\n",
+		g.N, g.F, g.T(), m.NumParams(), o.epochs)
+	if _, err := m.Fit(g); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+
+	srv := server.New(server.Config{
+		MaxT:   o.t,
+		Queue:  4 * o.clients, // absorb the full client burst; shedding is not what we measure here
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err := srv.Register("bench", m, g); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+
+	scenarios := []struct {
+		name string
+		do   func(client *http.Client, seed int64) (snapshots int64, err error)
+	}{
+		{"serve/generate", func(c *http.Client, seed int64) (int64, error) {
+			return doGenerate(c, ts.URL, o.t, seed)
+		}},
+		{"serve/stream", func(c *http.Client, seed int64) (int64, error) {
+			return doStream(c, ts.URL, o.t, seed)
+		}},
+		{"serve/batch", func(c *http.Client, seed int64) (int64, error) {
+			return doBatch(c, ts.URL, o.t, seed)
+		}},
+	}
+
+	var results []serveResult
+	for _, sc := range scenarios {
+		// Reset the kernel watermark per scenario so serve/stream's O(1)
+		// resident-snapshot behaviour is visible next to the buffered
+		// endpoints instead of being masked by their earlier peaks.
+		resetPeakRSS()
+		latencies := make([]time.Duration, o.requests)
+		var snapshots atomic.Int64
+		var errCount atomic.Int64
+		var next atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < o.clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := &http.Client{}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= o.requests {
+						return
+					}
+					reqStart := time.Now()
+					snaps, err := sc.do(client, o.seed+int64(i))
+					latencies[i] = time.Since(reqStart)
+					if err != nil {
+						errCount.Add(1)
+					} else {
+						snapshots.Add(snaps)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res := serveResult{
+			Name:         sc.name,
+			Clients:      o.clients,
+			Requests:     o.requests,
+			T:            o.t,
+			RPS:          float64(o.requests) / elapsed.Seconds(),
+			P50MS:        float64(percentile(latencies, 0.50).Microseconds()) / 1000,
+			P99MS:        float64(percentile(latencies, 0.99).Microseconds()) / 1000,
+			Errors:       int(errCount.Load()),
+			Snapshots:    snapshots.Load(),
+			PeakRSSBytes: peakRSS(),
+		}
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr, "serve-bench: %-16s %7.1f req/s  p50 %8.2f ms  p99 %8.2f ms  errors %d  peak RSS %.1f MB\n",
+			res.Name, res.RPS, res.P50MS, res.P99MS, res.Errors, float64(res.PeakRSSBytes)/(1<<20))
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if o.out == "" || o.out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(o.out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve-bench: wrote %d results to %s\n", len(results), o.out)
+	return nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func doGenerate(c *http.Client, base string, t int, seed int64) (int64, error) {
+	body := fmt.Sprintf(`{"t":%d,"seed":%d}`, t, seed)
+	resp, err := c.Post(base+"/v1/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Sequence struct {
+			Snapshots []json.RawMessage `json:"snapshots"`
+		} `json:"sequence"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return int64(len(out.Sequence.Snapshots)), nil
+}
+
+func doStream(c *http.Client, base string, t int, seed int64) (int64, error) {
+	body := fmt.Sprintf(`{"t":%d,"seed":%d}`, t, seed)
+	resp, err := c.Post(base+"/v1/generate/stream", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var snaps int64
+	done := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"edges"`)) {
+			snaps++
+		} else if bytes.Contains(line, []byte(`"done":true`)) {
+			done = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return snaps, err
+	}
+	if !done {
+		return snaps, fmt.Errorf("stream ended without done trailer after %d snapshots", snaps)
+	}
+	return snaps, nil
+}
+
+func doBatch(c *http.Client, base string, t int, seed int64) (int64, error) {
+	body := fmt.Sprintf(`{"t":%d,"count":4,"seeds":[%d]}`, t, seed)
+	resp, err := c.Post(base+"/v1/generate/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []struct {
+			Error    string `json:"error"`
+			Sequence struct {
+				Snapshots []json.RawMessage `json:"snapshots"`
+			} `json:"sequence"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	var snaps int64
+	for _, r := range out.Results {
+		if r.Error != "" {
+			return snaps, fmt.Errorf("batch item: %s", r.Error)
+		}
+		snaps += int64(len(r.Sequence.Snapshots))
+	}
+	return snaps, nil
+}
+
+// peakRSS reads the process's high-water resident set from
+// /proc/self/status (VmHWM); on non-Linux platforms it falls back to the
+// Go runtime's Sys figure, which over-counts but keeps the field useful.
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.Sys)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				return kb << 10
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}
+
+// resetPeakRSS clears the kernel's VmHWM watermark (Linux: writing "5" to
+// /proc/self/clear_refs) so the reported peak covers only the load phase,
+// not model training. Best-effort; a failure just means the peak includes
+// startup.
+func resetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}

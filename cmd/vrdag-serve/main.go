@@ -10,9 +10,13 @@
 //	vrdag-serve -dataset email,bitcoin -scale 0.05 -epochs 10
 //	vrdag-serve -model email=email.ckpt -ref email=email.vg -addr :9090
 //
-// Endpoints: POST /v1/generate, GET /v1/metrics, GET /v1/models,
-// GET /healthz. The server drains in-flight generation work and shuts
-// down gracefully on SIGINT/SIGTERM.
+// Endpoints: POST /v1/generate, POST /v1/generate/stream (NDJSON),
+// POST /v1/generate/batch, GET /v1/metrics, GET /v1/models,
+// GET /healthz. On SIGINT/SIGTERM the server stops admitting work,
+// signals in-flight streaming responses to finish the snapshot they are
+// on and append a truncation trailer, and drains everything within
+// -drain before exiting — connections are handed a well-formed end of
+// stream instead of being cut.
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 		workers = flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "request queue slots (0 = 4x workers)")
 		maxT    = flag.Int("max-t", 512, "largest horizon accepted per request")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for draining in-flight (incl. streaming) responses")
 		quiet   = flag.Bool("quiet", false, "suppress training progress output")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
@@ -141,8 +146,13 @@ func main() {
 		logger.Fatalf("listen: %v", err)
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	logger.Printf("shutting down: draining in-flight responses (deadline %s)", *drain)
+	// BeginDrain first: streaming handlers see it at their next snapshot,
+	// emit a truncation trailer, and end their responses, which lets
+	// Shutdown's connection-drain finish well inside the deadline instead
+	// of cutting long-lived streams off mid-line.
+	srv.BeginDrain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		logger.Printf("shutdown: %v", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -44,108 +45,226 @@ func (m *Model) Generate(t int) (*dyngraph.Sequence, error) {
 
 // GenerateOpts synthesises a sequence with explicit options.
 func (m *Model) GenerateOpts(opts GenOptions) (*dyngraph.Sequence, error) {
+	return m.GenerateCtx(context.Background(), opts)
+}
+
+// GenerateCtx is GenerateOpts with cooperative cancellation: ctx is
+// checked once per timestep, and when it fires the partial sequence is
+// discarded and the per-request pooled state released. It is a thin
+// collector over the streaming engine, so its output is identical to
+// GenerateStream's for the same options.
+func (m *Model) GenerateCtx(ctx context.Context, opts GenOptions) (*dyngraph.Sequence, error) {
+	g := &dyngraph.Sequence{N: m.Cfg.N, F: m.Cfg.F, Snapshots: make([]*dyngraph.Snapshot, 0, max(opts.T, 0))}
+	err := m.generate(ctx, opts, func(s *dyngraph.Snapshot) error {
+		g.Snapshots = append(g.Snapshots, s)
+		return nil
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// GenerateStream runs Algorithm 1 as a producer: each finished snapshot is
+// handed to yield as soon as it is decoded, and after yield returns the
+// engine takes the snapshot back — its adjacency lists are reused and its
+// attribute buffer returned to the tensor arena — so an in-flight
+// streaming request holds O(1) snapshots resident regardless of T,
+// against the O(T·(N²+N·F)) a collected sequence occupies.
+//
+// The snapshot passed to yield is only valid for the duration of the
+// call; a consumer that needs to retain it must Clone it. A non-nil error
+// from yield aborts generation and is returned verbatim. ctx is checked
+// once per timestep; on cancellation the per-request buffers are released
+// back to the arena and the context's error is returned. The yielded
+// snapshots are identical, value for value, to the sequence GenerateOpts
+// returns for the same options.
+func (m *Model) GenerateStream(ctx context.Context, opts GenOptions, yield func(*dyngraph.Snapshot) error) error {
+	return m.generate(ctx, opts, yield, true)
+}
+
+// generate drives the stepper in streaming (recycle) or collecting mode.
+func (m *Model) generate(ctx context.Context, opts GenOptions, yield func(*dyngraph.Snapshot) error, recycle bool) error {
 	if opts.T <= 0 {
-		return nil, fmt.Errorf("core: GenOptions.T must be positive, got %d", opts.T)
+		return fmt.Errorf("core: GenOptions.T must be positive, got %d", opts.T)
 	}
 	if opts.Tdel == 0 {
 		opts.Tdel = 3
 	}
+	st := m.newGenState(opts, recycle)
+	defer st.release()
+	for t := 0; t < opts.T; t++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := yield(st.step(t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genState is the reusable stepper behind GenerateCtx and GenerateStream:
+// the per-request mutable state of Algorithm 1 plus the O(N) decode
+// scratch, allocated once per request instead of once per snapshot.
+type genState struct {
+	m    *Model
+	opts GenOptions
+	rng  *rand.Rand
+	n    int
+
+	h        *tensor.Matrix // H_{t-1}; starts at 0 (Algorithm 1, line 1)
+	active   []bool
+	isolated []int
+	degree   []float64 // running degree for candidate weighting
+	prevX    *tensor.Matrix
+	prev     *dyngraph.Snapshot
+
+	// Streaming mode: a snapshot handed to the consumer is taken back once
+	// it leaves the one-step history window and reused for a later
+	// timestep, holding resident snapshot memory at O(1) per request.
+	recycle bool
+	spare   *dyngraph.Snapshot
+
+	// Decode scratch, reused across timesteps.
+	scores []nodeScores
+	cum    []float64
+	seeds  []int64
+	comp   []int
+}
+
+// nodeScores carries one node's candidate set, Bernoulli means, and
+// mixture weights between the scoring and sampling phases of a decode.
+type nodeScores struct {
+	cands []int
+	theta *tensor.Matrix // C×K Bernoulli means per component
+	alpha []float64      // K mixture weights
+}
+
+func (m *Model) newGenState(opts GenOptions, recycle bool) *genState {
 	n := m.Cfg.N
 	src := opts.Source
 	if src == nil {
 		src = rand.NewSource(opts.Seed)
 	}
-	rng := rand.New(src)
-	g := dyngraph.NewSequence(n, m.Cfg.F, opts.T)
-
-	h := tensor.New(n, m.Cfg.HiddenDim) // H_0 = 0 (Algorithm 1, line 1)
-	active := make([]bool, n)
-	isolated := make([]int, n)
-	for i := range active {
-		active[i] = true
+	st := &genState{
+		m: m, opts: opts, rng: rand.New(src), n: n, recycle: recycle,
+		h:        tensor.Get(n, m.Cfg.HiddenDim),
+		active:   make([]bool, n),
+		isolated: make([]int, n),
+		degree:   make([]float64, n),
+		scores:   make([]nodeScores, n),
+		cum:      make([]float64, n+1),
+		seeds:    make([]int64, n),
+		comp:     make([]int, n),
 	}
-	degree := make([]float64, n) // running degree for candidate weighting
-	var prevX *tensor.Matrix     // standardized attribute state (AR matching)
-
-	var prev *dyngraph.Snapshot
-	for t := 0; t < opts.T; t++ {
-		// Line 3: sample temporal latent variables from the prior.
-		mu, logSig := m.priorValue(h)
-		z := sampleLatent(mu, logSig, rng)
-		tensor.Put(mu)
-		tensor.Put(logSig)
-		s := concatValue(z, h) // S_t = [Z_t ‖ H_{t-1}]
-
-		// Line 4: decode the adjacency via the MixBernoulli sampler.
-		snap := dyngraph.NewSnapshot(n, m.Cfg.F)
-		m.decodeStructure(snap, s, prev, degree, active, t, rng, opts.Parallel)
-
-		// Line 5: decode attributes conditioned on the new topology. The
-		// decoded matrix is the likelihood mean; sampling adds the
-		// observation noise estimated from training residuals, then the
-		// moments and lag-1 autocorrelation are matched to the training
-		// statistics.
-		if m.Cfg.F > 0 {
-			esrc, edst := snap.EdgeLists()
-			dec := m.gat.Forward(s, esrc, edst, n)
-			x := m.attrMLP.Forward(dec)
-			tensor.Put(dec)
-			state := m.composeAttrs(x, prevX, rng)
-			if prevX != nil && state != prevX {
-				tensor.Put(prevX)
-			}
-			prevX = state
-			snap.X = x // escapes into the sequence; never recycled
-		}
-
-		// Line 7: update hidden states with the recurrence updater.
-		eps := m.enc.EncodeValue(snap)
-		gin := m.gruInputValue(eps, z, t, n)
-		hNext := m.gru.Forward(gin, h)
-		tensor.Put(gin)
-		tensor.Put(eps)
-		tensor.Put(z)
-		tensor.Put(s)
-		tensor.Put(h)
-		h = hNext
-
-		// Bookkeeping for candidate weighting and the dynamic-node
-		// extension.
-		for v := 0; v < n; v++ {
-			d := snap.OutDegree(v) + snap.InDegree(v)
-			degree[v] = 0.8*degree[v] + float64(d)
-			if opts.DynamicNodes {
-				if d == 0 {
-					isolated[v]++
-				} else {
-					isolated[v] = 0
-				}
-			}
-		}
-		if opts.DynamicNodes {
-			m.updateActiveSet(active, isolated, h, t, opts.Tdel, rng)
-		}
-
-		g.Snapshots[t] = snap
-		prev = snap
+	for i := range st.active {
+		st.active[i] = true
 	}
-	return g, nil
+	return st
 }
 
-// gruInputValue assembles [ε ‖ z ‖ fT(t)] without the tape into a pooled
-// buffer (the caller Puts it after the GRU update).
-func (m *Model) gruInputValue(eps, z *tensor.Matrix, t, n int) *tensor.Matrix {
-	if !m.Cfg.UseTime2Vec {
-		return concatValue(eps, z)
+// release returns every live buffer of an in-flight generation to the
+// arena. It runs on all exit paths, including cancellation and consumer
+// errors, so aborted requests leak nothing (collected snapshots, which
+// have escaped to the caller, are exempt).
+func (st *genState) release() {
+	if st.h != nil {
+		tensor.Put(st.h)
+		st.h = nil
 	}
-	ft := m.t2v.EncodeValue(float64(t))
-	ftN := tensor.Get(n, m.Cfg.TimeDim)
-	for i := 0; i < n; i++ {
-		copy(ftN.Row(i), ft.Data)
+	if st.prevX != nil {
+		tensor.Put(st.prevX)
+		st.prevX = nil
 	}
-	out := concatValue(eps, z, ftN)
-	tensor.Put(ftN)
-	return out
+	if st.recycle && st.prev != nil {
+		st.prev.Recycle()
+	}
+	st.prev, st.spare = nil, nil
+}
+
+// takeSnapshot returns the snapshot to decode the next timestep into: the
+// recycled previous-previous snapshot when streaming, a fresh one
+// otherwise. The attribute matrix is attached by the decoder, so the
+// structure-only allocation suffices in both modes.
+func (st *genState) takeSnapshot() *dyngraph.Snapshot {
+	if s := st.spare; s != nil {
+		st.spare = nil
+		return s
+	}
+	return dyngraph.NewSnapshot(st.n, 0)
+}
+
+// step decodes snapshot t and advances the recurrent state.
+func (st *genState) step(t int) *dyngraph.Snapshot {
+	m, n, rng := st.m, st.n, st.rng
+
+	// Line 3: sample temporal latent variables from the prior.
+	mu, logSig := m.priorValue(st.h)
+	z := sampleLatent(mu, logSig, rng)
+	tensor.Put(mu)
+	tensor.Put(logSig)
+	s := concatValue(z, st.h) // S_t = [Z_t ‖ H_{t-1}]
+
+	// Line 4: decode the adjacency via the MixBernoulli sampler.
+	snap := st.takeSnapshot()
+	st.decodeStructure(snap, s, t)
+
+	// Line 5: decode attributes conditioned on the new topology. The
+	// decoded matrix is the likelihood mean; sampling adds the
+	// observation noise estimated from training residuals, then the
+	// moments and lag-1 autocorrelation are matched to the training
+	// statistics.
+	if m.Cfg.F > 0 {
+		esrc, edst := snap.EdgeLists()
+		dec := m.gat.Forward(s, esrc, edst, n)
+		x := m.attrMLP.Forward(dec)
+		tensor.Put(dec)
+		state := m.composeAttrs(x, st.prevX, rng)
+		if st.prevX != nil && state != st.prevX {
+			tensor.Put(st.prevX)
+		}
+		st.prevX = state
+		snap.X = x // owned by the snapshot until it escapes or is recycled
+	}
+
+	// Line 7: update hidden states with the recurrence updater.
+	eps := m.enc.EncodeValue(snap)
+	gin := m.gruInputValue(eps, z, t, n)
+	hNext := m.gru.Forward(gin, st.h)
+	tensor.Put(gin)
+	tensor.Put(eps)
+	tensor.Put(z)
+	tensor.Put(s)
+	tensor.Put(st.h)
+	st.h = hNext
+
+	// Bookkeeping for candidate weighting and the dynamic-node extension.
+	for v := 0; v < n; v++ {
+		d := snap.OutDegree(v) + snap.InDegree(v)
+		st.degree[v] = 0.8*st.degree[v] + float64(d)
+		if st.opts.DynamicNodes {
+			if d == 0 {
+				st.isolated[v]++
+			} else {
+				st.isolated[v] = 0
+			}
+		}
+	}
+	if st.opts.DynamicNodes {
+		m.updateActiveSet(st.active, st.isolated, st.h, t, st.opts.Tdel, rng)
+	}
+
+	// Rotate the one-step history window. The snapshot leaving it was
+	// yielded an iteration ago, so in streaming mode both the consumer and
+	// the engine are done with it and its buffers can be reclaimed.
+	old := st.prev
+	st.prev = snap
+	if st.recycle && old != nil {
+		old.Recycle()
+		st.spare = old
+	}
+	return snap
 }
 
 // decodeStructure implements the one-shot MixBernoulli decoding (Eq. 11).
@@ -153,11 +272,10 @@ func (m *Model) gruInputValue(eps, z *tensor.Matrix, t, n int) *tensor.Matrix {
 // the mixture weights α_i, then samples edges from the selected component.
 // With DegreeCalibration the Bernoulli means are rescaled so the expected
 // edge count matches the training statistics for this timestep.
-func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
-	prev *dyngraph.Snapshot, degree []float64, active []bool, t int,
-	rng *rand.Rand, parallel bool) {
+func (st *genState) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix, t int) {
+	m, n, rng, prev := st.m, st.n, st.rng, st.prev
+	active := st.active
 
-	n := m.Cfg.N
 	// Temporal persistence calibration: replay previous-step edges at the
 	// training data's persistence rate before one-shot sampling fills the
 	// remaining budget. Like the density calibration, this matches a
@@ -178,17 +296,15 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 		}
 	}
 
-	type nodeScores struct {
-		cands []int
-		theta *tensor.Matrix // C×K Bernoulli means per component
-		alpha []float64      // K mixture weights
-	}
-	scores := make([]nodeScores, n)
+	// Per-node scores live in the stepper's scratch. Entries left over
+	// from the previous timestep have a nil theta (cleared after
+	// sampling), so stale candidate sets are never re-read.
+	scores := st.scores
 
 	// Candidate weights: degree-proportional with +1 smoothing.
-	cum := make([]float64, n+1)
+	cum := st.cum
 	for v := 0; v < n; v++ {
-		w := degree[v] + 1
+		w := st.degree[v] + 1
 		if !active[v] {
 			w = 0
 		}
@@ -197,7 +313,7 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 	totalW := cum[n]
 
 	// Pre-draw per-node RNG seeds so the parallel path stays deterministic.
-	seeds := make([]int64, n)
+	seeds := st.seeds
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
@@ -239,7 +355,7 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 		scores[i] = nodeScores{cands: cands, theta: theta, alpha: alpha}
 	}
 
-	if parallel && runtime.GOMAXPROCS(0) > 1 {
+	if st.opts.Parallel && runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
 		workers := runtime.GOMAXPROCS(0)
 		chunk := (n + workers - 1) / workers
@@ -269,7 +385,7 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 	}
 
 	// Choose mixture components and collect Bernoulli means.
-	comp := make([]int, n)
+	comp := st.comp
 	expected := 0.0
 	for i := 0; i < n; i++ {
 		sc := &scores[i]
@@ -312,6 +428,22 @@ func (m *Model) decodeStructure(snap *dyngraph.Snapshot, s *tensor.Matrix,
 		tensor.Put(sc.theta)
 		sc.theta = nil
 	}
+}
+
+// gruInputValue assembles [ε ‖ z ‖ fT(t)] without the tape into a pooled
+// buffer (the caller Puts it after the GRU update).
+func (m *Model) gruInputValue(eps, z *tensor.Matrix, t, n int) *tensor.Matrix {
+	if !m.Cfg.UseTime2Vec {
+		return concatValue(eps, z)
+	}
+	ft := m.t2v.EncodeValue(float64(t))
+	ftN := tensor.Get(n, m.Cfg.TimeDim)
+	for i := 0; i < n; i++ {
+		copy(ftN.Row(i), ft.Data)
+	}
+	out := concatValue(eps, z, ftN)
+	tensor.Put(ftN)
+	return out
 }
 
 // composeAttrs turns decoded likelihood means into attribute samples with

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/tensor"
+)
+
+// streamTestModel trains one small attributed model shared by the
+// streaming tests (generation is read-only on the model).
+func streamTestModel(t *testing.T) *Model {
+	t.Helper()
+	g := toyGraph(20, 2, 6, 11)
+	m := New(smallConfig(20, 2))
+	if _, err := m.Fit(g); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	return m
+}
+
+// TestGenerateStreamMatchesGenerateOpts is the golden equivalence test of
+// the streaming engine: for a fixed seed, the recycled-buffer stream must
+// yield snapshots byte-identical to the sequence the collecting path
+// returns — same edges and bit-equal attribute floats at every timestep.
+func TestGenerateStreamMatchesGenerateOpts(t *testing.T) {
+	m := streamTestModel(t)
+	const T = 7
+	opts := func() GenOptions {
+		return GenOptions{T: T, Source: rand.NewSource(99), DynamicNodes: true, Parallel: true}
+	}
+
+	collected, err := m.GenerateOpts(opts())
+	if err != nil {
+		t.Fatalf("GenerateOpts: %v", err)
+	}
+
+	var streamed []*dyngraph.Snapshot
+	err = m.GenerateStream(context.Background(), opts(), func(s *dyngraph.Snapshot) error {
+		streamed = append(streamed, s.Clone()) // s is recycled after yield returns
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+
+	if len(streamed) != collected.T() {
+		t.Fatalf("stream yielded %d snapshots, collector %d", len(streamed), collected.T())
+	}
+	for tt, want := range collected.Snapshots {
+		got := streamed[tt]
+		if got.NumEdges() != want.NumEdges() {
+			t.Fatalf("snapshot %d: %d edges streamed, %d collected", tt, got.NumEdges(), want.NumEdges())
+		}
+		for u := 0; u < want.N; u++ {
+			wo, go_ := want.Out[u], got.Out[u]
+			if len(wo) != len(go_) {
+				t.Fatalf("snapshot %d node %d: out-degree %d vs %d", tt, u, len(go_), len(wo))
+			}
+			for k := range wo {
+				if wo[k] != go_[k] {
+					t.Fatalf("snapshot %d node %d: edge %d differs", tt, u, k)
+				}
+			}
+		}
+		for i := range want.X.Data {
+			if got.X.Data[i] != want.X.Data[i] {
+				t.Fatalf("snapshot %d: attribute %d differs: %v vs %v", tt, i, got.X.Data[i], want.X.Data[i])
+			}
+		}
+	}
+}
+
+// TestGenerateStreamRecyclesBuffers verifies the memory contract of the
+// tentpole: a full streaming run returns every pooled buffer it took —
+// snapshots included — so arena gets and puts balance exactly and the
+// request pins no snapshot memory after it ends.
+func TestGenerateStreamRecyclesBuffers(t *testing.T) {
+	m := streamTestModel(t)
+	// Warm-up run so one-time allocations (CSR caches, etc.) don't skew
+	// the counter delta.
+	if err := m.GenerateStream(context.Background(), GenOptions{T: 2, Seed: 5}, func(*dyngraph.Snapshot) error { return nil }); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	before := tensor.ReadPoolStats()
+	err := m.GenerateStream(context.Background(), GenOptions{T: 12, Seed: 7}, func(*dyngraph.Snapshot) error { return nil })
+	if err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+	after := tensor.ReadPoolStats()
+	gets := after.Gets - before.Gets
+	puts := after.Puts - before.Puts
+	if gets == 0 {
+		t.Fatal("expected pooled allocations during streaming generation")
+	}
+	if gets != puts {
+		t.Fatalf("arena leak: %d gets vs %d puts over a full stream", gets, puts)
+	}
+}
+
+// TestGenerateStreamCancellation covers the abort path: cancelling the
+// context mid-stream stops the loop within one timestep, reports the
+// context's error, and still releases every pooled buffer.
+func TestGenerateStreamCancellation(t *testing.T) {
+	m := streamTestModel(t)
+	if err := m.GenerateStream(context.Background(), GenOptions{T: 2, Seed: 5}, func(*dyngraph.Snapshot) error { return nil }); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	before := tensor.ReadPoolStats()
+	yields := 0
+	err := m.GenerateStream(ctx, GenOptions{T: 100, Seed: 13}, func(*dyngraph.Snapshot) error {
+		yields++
+		if yields == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if yields != 3 {
+		t.Fatalf("loop ran %d yields after cancellation at 3", yields)
+	}
+	after := tensor.ReadPoolStats()
+	if gets, puts := after.Gets-before.Gets, after.Puts-before.Puts; gets != puts {
+		t.Fatalf("cancelled stream leaked arena buffers: %d gets vs %d puts", gets, puts)
+	}
+}
+
+// TestGenerateStreamYieldError checks that a consumer error aborts the
+// stream immediately and is returned verbatim, with no buffer leak.
+func TestGenerateStreamYieldError(t *testing.T) {
+	m := streamTestModel(t)
+	if err := m.GenerateStream(context.Background(), GenOptions{T: 2, Seed: 5}, func(*dyngraph.Snapshot) error { return nil }); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	sentinel := errors.New("consumer gave up")
+	before := tensor.ReadPoolStats()
+	yields := 0
+	err := m.GenerateStream(context.Background(), GenOptions{T: 50, Seed: 17}, func(*dyngraph.Snapshot) error {
+		yields++
+		if yields == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the consumer's sentinel", err)
+	}
+	if yields != 2 {
+		t.Fatalf("stream continued past the consumer error (%d yields)", yields)
+	}
+	after := tensor.ReadPoolStats()
+	if gets, puts := after.Gets-before.Gets, after.Puts-before.Puts; gets != puts {
+		t.Fatalf("aborted stream leaked arena buffers: %d gets vs %d puts", gets, puts)
+	}
+}
+
+// TestGenerateCtxCancelled covers the collector path: a pre-cancelled
+// context produces no sequence and the context's error.
+func TestGenerateCtxCancelled(t *testing.T) {
+	m := streamTestModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if seq, err := m.GenerateCtx(ctx, GenOptions{T: 5, Seed: 3}); err == nil || seq != nil {
+		t.Fatalf("GenerateCtx on cancelled ctx: seq=%v err=%v, want nil + error", seq, err)
+	}
+}
+
+// TestFitContextCancellation verifies that training checks its context
+// between epochs and that an interrupted model stays untrained.
+func TestFitContextCancellation(t *testing.T) {
+	g := toyGraph(12, 2, 4, 19)
+	cfg := smallConfig(12, 2)
+	cfg.Epochs = 50
+	m := New(cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	epochs := 0
+	_, err := m.FitContext(ctx, g, WithProgress(func(s TrainStats) {
+		epochs++
+		if epochs == 2 {
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if epochs != 2 {
+		t.Fatalf("training ran %d epochs after cancellation at 2", epochs)
+	}
+	if m.Trained() {
+		t.Fatal("cancelled training must leave the model untrained")
+	}
+}
+
+// TestSnapshotRecycleReuse exercises the dyngraph recycling hook directly:
+// a recycled snapshot is empty, reusable, and keeps no stale state.
+func TestSnapshotRecycleReuse(t *testing.T) {
+	s := dyngraph.NewSnapshot(6, 0)
+	s.AddEdge(0, 1)
+	s.AddEdge(2, 3)
+	s.X = tensor.Get(6, 2)
+	s.Recycle()
+	if s.NumEdges() != 0 || s.X != nil {
+		t.Fatalf("recycled snapshot not empty: %d edges, X=%v", s.NumEdges(), s.X)
+	}
+	if !s.AddEdge(3, 4) || s.NumEdges() != 1 || !s.HasEdge(3, 4) {
+		t.Fatal("recycled snapshot unusable for new edges")
+	}
+	if s.HasEdge(0, 1) {
+		t.Fatal("stale edge survived Recycle")
+	}
+}

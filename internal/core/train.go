@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -36,6 +37,17 @@ func WithProgress(f func(TrainStats)) FitOption {
 // maximising the step-wise ELBO of Eq. (14) with full-sequence
 // backpropagation through time. It returns the stats of the final epoch.
 func (m *Model) Fit(g *dyngraph.Sequence, opts ...FitOption) (TrainStats, error) {
+	return m.FitContext(context.Background(), g, opts...)
+}
+
+// FitContext is Fit with cooperative cancellation, the same contract the
+// generation engine offers: ctx is checked once per epoch, so a long
+// training run started from tooling stops within one epoch of the caller
+// cancelling. On cancellation the stats of the last completed epoch are
+// returned together with the context's error, and the model stays
+// untrained (Trained reports false) because the generation-time
+// calibration statistics of the final epoch were never captured.
+func (m *Model) FitContext(ctx context.Context, g *dyngraph.Sequence, opts ...FitOption) (TrainStats, error) {
 	var o fitOpts
 	for _, opt := range opts {
 		opt(&o)
@@ -54,6 +66,9 @@ func (m *Model) Fit(g *dyngraph.Sequence, opts ...FitOption) (TrainStats, error)
 
 	var last TrainStats
 	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
 		stats, err := m.runEpoch(g, epoch)
 		if err != nil {
 			return stats, err

@@ -168,6 +168,28 @@ func (s *Snapshot) AdjTCSR() *tensor.CSR {
 	return s.adjTCSRc
 }
 
+// Recycle empties the snapshot in place for reuse by a streaming
+// producer: the attribute matrix is returned to the tensor arena and
+// detached, the neighbour lists are truncated with their backing arrays
+// kept, and the memoised CSR forms are dropped. After Recycle the
+// snapshot is equivalent to NewSnapshot(N, 0) except that rebuilding a
+// similar timestep into it allocates nothing.
+//
+// The caller must own the snapshot exclusively: no view of X and no CSR
+// form obtained from it may be used afterwards.
+func (s *Snapshot) Recycle() {
+	if s.X != nil {
+		tensor.Put(s.X)
+		s.X = nil
+	}
+	for i := range s.Out {
+		s.Out[i] = s.Out[i][:0]
+		s.In[i] = s.In[i][:0]
+	}
+	s.m = 0
+	s.invalidateCSR()
+}
+
 // Clone returns a deep copy of the snapshot.
 func (s *Snapshot) Clone() *Snapshot {
 	c := &Snapshot{N: s.N, Out: make([][]int, s.N), In: make([][]int, s.N), m: s.m}

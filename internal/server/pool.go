@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrBusy is returned by Pool.Do when the request queue is full. Handlers
@@ -16,23 +17,39 @@ var ErrBusy = errors.New("server: request queue full")
 // ErrClosed is returned by Pool.Do after Close.
 var ErrClosed = errors.New("server: pool closed")
 
+// Task lifecycle states. A queued task is claimed exactly once: by the
+// worker that will run it (pending→running) or by the submitter that gave
+// up on it (pending→abandoned). The claim race is what lets Do promise
+// that when it returns a context error, f has not run and never will —
+// and that in every other case f has fully finished. Streaming handlers
+// rely on the second half: f writes to the http.ResponseWriter, which must
+// not be touched after the handler returns.
+const (
+	taskPending int32 = iota
+	taskRunning
+	taskAbandoned
+)
+
 type task struct {
-	ctx  context.Context
-	f    func()
-	done chan struct{}
-	err  error // set by the worker before close(done) when f panicked
+	ctx   context.Context
+	f     func()
+	done  chan struct{}
+	err   error // set by the worker before close(done) when f panicked or was skipped
+	state atomic.Int32
 }
 
 // Pool is a bounded worker pool for CPU-bound generation work. A fixed
 // number of workers (default GOMAXPROCS) drain a bounded queue; Do rejects
-// immediately with ErrBusy when the queue is full. Tasks whose context is
-// cancelled before a worker picks them up are skipped.
+// immediately with ErrBusy when the queue is full, DoWait blocks for a
+// slot. Tasks whose context is cancelled before a worker claims them are
+// skipped.
 type Pool struct {
 	tasks chan *task
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	senders sync.WaitGroup // in-flight DoWait submissions, drained before close(tasks)
+	wg      sync.WaitGroup
 }
 
 // NewPool starts a pool with the given worker and queue sizes; zero or
@@ -59,9 +76,13 @@ func NewPool(workers, queue int) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.tasks {
+		if !t.state.CompareAndSwap(taskPending, taskRunning) {
+			// Abandoned by its submitter; nobody is waiting on done.
+			continue
+		}
 		if err := t.ctx.Err(); err != nil {
-			// Do's select may observe done before ctx.Done(): the error
-			// must still say the task was skipped, not that it succeeded.
+			// Claimed, but the context expired while queued: skip the work
+			// and report the cancellation to the waiting submitter.
 			t.err = err
 		} else {
 			t.err = runTask(t.f)
@@ -83,30 +104,75 @@ func runTask(f func()) (err error) {
 	return nil
 }
 
-// Do submits f and blocks until a worker has run it to completion, the
-// context is cancelled, or the pool is closed. A panic inside f is
-// contained and returned as an error. When Do returns a context error the
-// task may still be pending; it will be skipped by the worker, and the
-// caller must not read state shared with f afterwards.
+// Do submits f without waiting for a queue slot (ErrBusy when full) and
+// blocks until the task resolves. On return the caller has one of two
+// guarantees: a context error means f never ran and never will; any other
+// result means f ran to completion before Do returned (a panic inside f
+// is contained and returned as an error), so state shared with f —
+// including an http.ResponseWriter f streamed to — is safe to use again.
 func (p *Pool) Do(ctx context.Context, f func()) error {
+	t, err := p.submit(ctx, f, false)
+	if err != nil {
+		return err
+	}
+	return p.await(ctx, t)
+}
+
+// DoWait is Do for callers that prefer waiting over shedding: when the
+// queue is full it blocks until a slot frees, ctx fires, or the pool
+// closes. Batch fan-out uses it so R sub-tasks from one admitted request
+// queue behind each other instead of tripping ErrBusy.
+func (p *Pool) DoWait(ctx context.Context, f func()) error {
+	t, err := p.submit(ctx, f, true)
+	if err != nil {
+		return err
+	}
+	return p.await(ctx, t)
+}
+
+func (p *Pool) submit(ctx context.Context, f func(), wait bool) (*task, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	t := &task{ctx: ctx, f: f, done: make(chan struct{})}
+	if !wait {
+		select {
+		case p.tasks <- t:
+			p.mu.Unlock()
+			return t, nil
+		default:
+			p.mu.Unlock()
+			return nil, ErrBusy
+		}
+	}
+	// Register as a sender before releasing the lock so Close cannot close
+	// the channel out from under the blocking send below.
+	p.senders.Add(1)
+	p.mu.Unlock()
+	defer p.senders.Done()
 	select {
 	case p.tasks <- t:
-		p.mu.Unlock()
-	default:
-		p.mu.Unlock()
-		return ErrBusy
+		return t, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
+}
+
+func (p *Pool) await(ctx context.Context, t *task) error {
 	select {
 	case <-t.done:
 		return t.err
 	case <-ctx.Done():
-		return ctx.Err()
+		if t.state.CompareAndSwap(taskPending, taskAbandoned) {
+			return ctx.Err() // still queued: the task will never run
+		}
+		// A worker claimed the task first. Wait for it to finish so the
+		// completion guarantee above holds; f observes the same ctx and is
+		// expected to return promptly after cancellation.
+		<-t.done
+		return t.err
 	}
 }
 
@@ -120,7 +186,8 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
-	close(p.tasks)
 	p.mu.Unlock()
+	p.senders.Wait()
+	close(p.tasks)
 	p.wg.Wait()
 }

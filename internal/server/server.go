@@ -1,18 +1,27 @@
 // Package server exposes trained VRDAG models over HTTP as a generation
-// service: POST /v1/generate samples snapshot sequences, GET /v1/metrics
-// scores a fresh sample against the model's reference sequence, and
+// service: POST /v1/generate samples a snapshot sequence in one response,
+// POST /v1/generate/stream emits snapshots as NDJSON lines the moment
+// they are decoded (O(1) resident snapshots per request),
+// POST /v1/generate/batch fans R independent seeds across the worker
+// pool, GET /v1/metrics scores a fresh sample against the model's
+// reference sequence and reports runtime/endpoint stats, and
 // GET /v1/models and GET /healthz report registry and liveness state.
 //
 // Models are read-only after registration and every generation request
 // samples through its own rand.Source, so request handling needs no
-// per-model locking; a bounded worker pool sized to GOMAXPROCS applies
-// backpressure (503) ahead of the CPU-bound decoding work. This is the
-// scaffold later scaling work (sharding, batching, caching) extends.
+// per-model locking. Load is shaped in two layers: a bounded admission
+// queue (configurable depth and wait timeout, 429 on overflow) sits in
+// front of a bounded worker pool sized to GOMAXPROCS, so excess demand
+// sheds at the edge before it can pile goroutines behind the CPU-bound
+// decoding work. Request contexts thread through generation, so a client
+// disconnect aborts its sequence mid-decode and returns the request's
+// buffers to the tensor arena.
 package server
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -33,10 +42,19 @@ import (
 
 // Config tunes the service; zero values select the documented defaults.
 type Config struct {
-	Workers int         // generation workers (default GOMAXPROCS)
-	Queue   int         // queued requests beyond in-flight (default 4×workers, min 16)
-	MaxT    int         // largest accepted horizon per request (default 512)
-	Logger  *log.Logger // request log destination (default stderr)
+	Workers  int // generation workers (default GOMAXPROCS)
+	Queue    int // queued requests beyond in-flight (default 4×workers, min 16)
+	MaxT     int // largest accepted horizon per request (default 512)
+	MaxBatch int // largest count accepted by /v1/generate/batch (default 16)
+
+	// AdmitDepth bounds how many generation requests may be admitted
+	// (in-flight plus waiting for a worker) at once; default workers+queue.
+	AdmitDepth int
+	// AdmitWait bounds how long a request waits for an admission slot
+	// before it is shed with 429 (default 2s).
+	AdmitWait time.Duration
+
+	Logger *log.Logger // request log destination (default stderr)
 }
 
 // Server routes HTTP requests onto the worker pool. Create with New,
@@ -46,6 +64,14 @@ type Server struct {
 	pool   *Pool
 	logger *log.Logger
 	mux    *http.ServeMux
+
+	admitCh chan struct{} // admission slots; buffered to AdmitDepth
+
+	drain     chan struct{} // closed by BeginDrain
+	drainOnce sync.Once
+
+	started       time.Time
+	endpointStats map[string]*endpointStats
 
 	mu     sync.RWMutex
 	models map[string]*modelEntry
@@ -66,24 +92,52 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.Workers
+		if cfg.Queue < 16 {
+			cfg.Queue = 16
+		}
+	}
 	if cfg.MaxT <= 0 {
 		cfg.MaxT = 512
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.AdmitDepth <= 0 {
+		cfg.AdmitDepth = cfg.Workers + cfg.Queue
+	}
+	if cfg.AdmitWait <= 0 {
+		cfg.AdmitWait = 2 * time.Second
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(log.Writer(), "vrdag-serve ", log.LstdFlags)
 	}
 	s := &Server{
-		cfg:    cfg,
-		pool:   NewPool(cfg.Workers, cfg.Queue),
-		logger: cfg.Logger,
-		models: make(map[string]*modelEntry),
-		seeder: rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers, cfg.Queue),
+		logger:  cfg.Logger,
+		admitCh: make(chan struct{}, cfg.AdmitDepth),
+		drain:   make(chan struct{}),
+		started: time.Now(),
+		models:  make(map[string]*modelEntry),
+		seeder:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
-	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/v1/models", s.handleModels)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	routes := map[string]http.HandlerFunc{
+		"/v1/generate":        s.handleGenerate,
+		"/v1/generate/stream": s.handleGenerateStream,
+		"/v1/generate/batch":  s.handleGenerateBatch,
+		"/v1/metrics":         s.handleMetrics,
+		"/v1/models":          s.handleModels,
+		"/healthz":            s.handleHealthz,
+	}
+	s.endpointStats = make(map[string]*endpointStats, len(routes)+1)
+	for path, h := range routes {
+		s.mux.HandleFunc(path, h)
+		s.endpointStats[path] = &endpointStats{}
+	}
+	s.endpointStats["other"] = &endpointStats{}
 	return s
 }
 
@@ -114,16 +168,38 @@ func (s *Server) Register(name string, m *core.Model, ref *dyngraph.Sequence) er
 	return nil
 }
 
-// Close drains the worker pool. In-flight requests finish; new ones are
-// rejected with 503.
-func (s *Server) Close() { s.pool.Close() }
+// BeginDrain moves the server into draining mode: new generation requests
+// are rejected with 503 and in-flight streaming responses finish the
+// snapshot they are on, append a truncation trailer, and end — so an
+// http.Server.Shutdown deadline is met without cutting connections
+// mid-line. Idempotent.
+func (s *Server) BeginDrain() { s.drainOnce.Do(func() { close(s.drain) }) }
 
-// ServeHTTP implements http.Handler with request logging.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close drains the worker pool. In-flight requests finish; new ones are
+// rejected.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.pool.Close()
+}
+
+// ServeHTTP implements http.Handler with request logging and per-endpoint
+// accounting.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(lw, r)
-	s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, lw.status, time.Since(start).Round(time.Microsecond))
+	elapsed := time.Since(start)
+	s.statsFor(r.URL.Path).observe(lw.status, elapsed)
+	s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, lw.status, elapsed.Round(time.Microsecond))
 }
 
 type loggingWriter struct {
@@ -134,6 +210,14 @@ type loggingWriter struct {
 func (w *loggingWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so the NDJSON streaming endpoint
+// keeps its per-line backpressure through the logging wrapper.
+func (w *loggingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // lookup resolves a model by name; an empty name resolves iff exactly one
@@ -200,9 +284,45 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// admit reserves a slot in the bounded admission queue in front of the
+// worker pool, waiting up to AdmitWait for one to free. It reports false
+// after writing the appropriate rejection (429 on overflow, 503 while
+// draining, nothing when the client is already gone); on success the
+// returned release must be called once the request's generation work is
+// finished.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server draining")
+		return nil, false
+	}
+	release = func() { <-s.admitCh }
+	select {
+	case s.admitCh <- struct{}{}:
+		return release, true
+	default:
+	}
+	timer := time.NewTimer(s.cfg.AdmitWait)
+	defer timer.Stop()
+	select {
+	case s.admitCh <- struct{}{}:
+		return release, true
+	case <-timer.C:
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests,
+			"admission queue full: no slot freed within %s (depth %d)", s.cfg.AdmitWait, s.cfg.AdmitDepth)
+		return nil, false
+	case <-r.Context().Done():
+		return nil, false
+	case <-s.drain:
+		s.writeError(w, http.StatusServiceUnavailable, "server draining")
+		return nil, false
+	}
+}
+
 // runPooled executes f on the worker pool, translating pool saturation,
 // task panics, and request cancellation into HTTP errors. It reports
-// whether f completed successfully.
+// whether f completed successfully. When it returns true, f has fully
+// finished (the pool never lets a claimed task outlive Do).
 func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, f func()) bool {
 	err := s.pool.Do(r.Context(), f)
 	switch {
@@ -218,39 +338,80 @@ func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, f func()) boo
 	return false
 }
 
-func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+// decodeBody enforces the shared request plumbing of every generation
+// endpoint — POST only, size-limited body, strict JSON — writing the
+// 405/400 response and reporting false on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
+		return false
 	}
-	var req GenerateRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(dst); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
+		return false
 	}
-	if req.T <= 0 || req.T > s.cfg.MaxT {
-		s.writeError(w, http.StatusBadRequest, "t must be in 1..%d, got %d", s.cfg.MaxT, req.T)
-		return
+	return true
+}
+
+// checkHorizon validates a requested horizon against MaxT, writing the
+// 400 response on failure.
+func (s *Server) checkHorizon(w http.ResponseWriter, t int) bool {
+	if t <= 0 || t > s.cfg.MaxT {
+		s.writeError(w, http.StatusBadRequest, "t must be in 1..%d, got %d", s.cfg.MaxT, t)
+		return false
 	}
-	entry, err := s.lookup(req.Model)
+	return true
+}
+
+// lookupOr404 resolves a model name, writing the 404 response on failure.
+func (s *Server) lookupOr404(w http.ResponseWriter, name string) (*modelEntry, bool) {
+	entry, err := s.lookup(name)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, "%v", err)
-		return
+		return nil, false
+	}
+	return entry, true
+}
+
+// decodeGenerateRequest parses and validates the shared body of the
+// unary and streaming generation endpoints, resolving the model and the
+// seed. It reports false after writing the error response.
+func (s *Server) decodeGenerateRequest(w http.ResponseWriter, r *http.Request) (GenerateRequest, *modelEntry, int64, bool) {
+	var req GenerateRequest
+	if !s.decodeBody(w, r, &req) || !s.checkHorizon(w, req.T) {
+		return req, nil, 0, false
+	}
+	entry, ok := s.lookupOr404(w, req.Model)
+	if !ok {
+		return req, nil, 0, false
 	}
 	seed := s.drawSeed()
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
+	return req, entry, seed, true
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	req, entry, seed, ok := s.decodeGenerateRequest(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 
 	var (
 		seq    *dyngraph.Sequence
 		genErr error
 		start  = time.Now()
 	)
-	ok := s.runPooled(w, r, func() {
-		seq, genErr = entry.model.GenerateOpts(core.GenOptions{
+	ok = s.runPooled(w, r, func() {
+		seq, genErr = entry.model.GenerateCtx(r.Context(), core.GenOptions{
 			T:            req.T,
 			Source:       rand.NewSource(seed),
 			DynamicNodes: req.DynamicNodes,
@@ -261,6 +422,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if genErr != nil {
+		if r.Context().Err() != nil {
+			return // client gone mid-generation; buffers already released
+		}
 		s.writeError(w, http.StatusInternalServerError, "generation failed: %v", genErr)
 		return
 	}
@@ -273,15 +437,204 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// errDraining aborts an in-flight stream when the server begins draining.
+var errDraining = errors.New("server draining")
+
+func (s *Server) handleGenerateStream(w http.ResponseWriter, r *http.Request) {
+	req, entry, seed, ok := s.decodeGenerateRequest(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	err := s.pool.Do(r.Context(), func() { s.streamGenerate(w, r, entry, seed, req) })
+	switch {
+	case err == nil:
+	case err == ErrBusy || err == ErrClosed:
+		s.writeError(w, http.StatusServiceUnavailable, "server overloaded: %v", err)
+	case r.Context().Err() != nil: // client gone before a worker picked it up
+	default:
+		// A panic after the stream began: the response may be half-written,
+		// so the log line and the dropped connection are the only signals.
+		s.logger.Printf("ERROR %s %s: %v", r.Method, r.URL.Path, err)
+	}
+}
+
+// streamGenerate runs on a pool worker: it emits the NDJSON header, one
+// line per decoded snapshot (flushed immediately so slow consumers apply
+// backpressure instead of growing a server-side buffer), and a trailer.
+// Snapshot buffers are recycled by the engine after each line is encoded,
+// so the request holds O(1) snapshots resident however large T is.
+func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, entry *modelEntry, seed int64, req GenerateRequest) {
+	start := time.Now()
+	m := entry.model
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(StreamHeader{Model: entry.name, Seed: seed, N: m.Cfg.N, F: m.Cfg.F, T: req.T}); err != nil {
+		return
+	}
+	flush()
+
+	emitted := 0
+	var line StreamSnapshot
+	err := m.GenerateStream(r.Context(), core.GenOptions{
+		T:            req.T,
+		Source:       rand.NewSource(seed),
+		DynamicNodes: req.DynamicNodes,
+		Parallel:     true,
+	}, func(snap *dyngraph.Snapshot) error {
+		select {
+		case <-s.drain:
+			return errDraining
+		default:
+		}
+		line.T = emitted
+		line.Edges = snap.Edges()
+		line.X = nil
+		if snap.X != nil {
+			rows := make([][]float64, snap.N)
+			for i := range rows {
+				rows[i] = snap.X.Row(i) // aliases the snapshot; encoded before yield returns
+			}
+			line.X = rows
+		}
+		if err := enc.Encode(&line); err != nil {
+			return err
+		}
+		flush()
+		emitted++
+		return nil
+	})
+
+	trailer := StreamTrailer{
+		Done:      err == nil,
+		Emitted:   emitted,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	switch {
+	case err == nil:
+		entry.generated.Add(1)
+	case errors.Is(err, errDraining):
+		trailer.Truncated = errDraining.Error()
+	case r.Context().Err() != nil:
+		return // client disconnected; no one is reading the trailer
+	default:
+		trailer.Error = err.Error()
+	}
+	if encErr := enc.Encode(&trailer); encErr != nil {
+		return
+	}
+	flush()
+}
+
+func (s *Server) handleGenerateBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	count := req.Count
+	if count == 0 {
+		count = len(req.Seeds)
+	}
+	if count == 0 {
+		count = 1
+	}
+	if count < len(req.Seeds) {
+		s.writeError(w, http.StatusBadRequest, "count %d smaller than %d provided seeds", count, len(req.Seeds))
+		return
+	}
+	if count < 1 || count > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, "count must be in 1..%d, got %d", s.cfg.MaxBatch, count)
+		return
+	}
+	if !s.checkHorizon(w, req.T) {
+		return
+	}
+	entry, ok := s.lookupOr404(w, req.Model)
+	if !ok {
+		return
+	}
+	seeds := make([]int64, count)
+	copy(seeds, req.Seeds)
+	for i := len(req.Seeds); i < count; i++ {
+		seeds[i] = s.drawSeed()
+	}
+
+	// The whole batch holds a single admission slot; its sub-tasks queue
+	// on the pool with DoWait, so one large batch cannot starve the
+	// admission queue for everyone else while still fanning out across
+	// idle workers.
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	results := make([]BatchItem, count)
+	var wg sync.WaitGroup
+	for i := range seeds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			itemStart := time.Now()
+			var seq *dyngraph.Sequence
+			var genErr error
+			err := s.pool.DoWait(r.Context(), func() {
+				seq, genErr = entry.model.GenerateCtx(r.Context(), core.GenOptions{
+					T:            req.T,
+					Source:       rand.NewSource(seeds[i]),
+					DynamicNodes: req.DynamicNodes,
+					Parallel:     true,
+				})
+			})
+			if err == nil {
+				err = genErr
+			}
+			results[i] = BatchItem{
+				Seed:      seeds[i],
+				ElapsedMS: float64(time.Since(itemStart).Microseconds()) / 1000,
+			}
+			if err != nil {
+				results[i].Error = err.Error()
+			} else {
+				results[i].Sequence = seq
+				entry.generated.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Context().Err() != nil {
+		return // client gone; every sub-task has already unwound
+	}
+	s.writeJSON(w, http.StatusOK, BatchResponse{
+		Model:     entry.name,
+		Count:     count,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Results:   results,
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	q := r.URL.Query()
-	entry, err := s.lookup(q.Get("model"))
-	if err != nil {
-		s.writeError(w, http.StatusNotFound, "%v", err)
+	entry, ok := s.lookupOr404(w, q.Get("model"))
+	if !ok {
 		return
 	}
 	if entry.ref == nil {
@@ -293,27 +646,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		t = s.cfg.MaxT
 	}
 	if v := q.Get("t"); v != "" {
-		t, err = strconv.Atoi(v)
-		if err != nil || t <= 0 || t > s.cfg.MaxT {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 || parsed > s.cfg.MaxT {
 			s.writeError(w, http.StatusBadRequest, "t must be in 1..%d, got %q", s.cfg.MaxT, v)
 			return
 		}
+		t = parsed
 	}
 	var seed int64 = 1
 	if v := q.Get("seed"); v != "" {
-		seed, err = strconv.ParseInt(v, 10, 64)
+		parsed, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, "bad seed %q", v)
 			return
 		}
+		seed = parsed
 	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 
 	var resp MetricsResponse
 	var genErr error
 	start := time.Now()
-	ok := s.runPooled(w, r, func() {
+	ok = s.runPooled(w, r, func() {
 		var seq *dyngraph.Sequence
-		seq, genErr = entry.model.GenerateOpts(core.GenOptions{
+		seq, genErr = entry.model.GenerateCtx(r.Context(), core.GenOptions{
 			T: t, Source: rand.NewSource(seed), Parallel: true,
 		})
 		if genErr != nil {
@@ -330,6 +691,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if genErr != nil {
+		if r.Context().Err() != nil {
+			return
+		}
 		s.writeError(w, http.StatusInternalServerError, "generation failed: %v", genErr)
 		return
 	}
@@ -338,6 +702,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp.T = t
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	resp.Runtime = readRuntimeStats()
+	resp.Server = s.serverStats()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -392,5 +757,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.models)
 	s.mu.RUnlock()
-	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Models: n, Workers: s.cfg.Workers})
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok", Models: n, Workers: s.cfg.Workers, Draining: s.draining(),
+	})
 }

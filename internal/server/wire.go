@@ -19,6 +19,71 @@ type GenerateRequest struct {
 	DynamicNodes bool `json:"dynamic_nodes,omitempty"`
 }
 
+// StreamHeader is the first NDJSON line of POST /v1/generate/stream. It
+// carries everything a client needs to pre-size decoding of the snapshot
+// lines that follow.
+type StreamHeader struct {
+	Model string `json:"model"`
+	Seed  int64  `json:"seed"`
+	N     int    `json:"n"`
+	F     int    `json:"f"`
+	T     int    `json:"t"` // requested horizon; the trailer reports how many were emitted
+}
+
+// StreamSnapshot is one per-timestep NDJSON line of the streaming
+// endpoint: the snapshot index plus the same edge/attribute payload a
+// sequence snapshot carries in the buffered JSON format.
+type StreamSnapshot struct {
+	T     int         `json:"t"`
+	Edges [][2]int    `json:"edges"`
+	X     [][]float64 `json:"x,omitempty"`
+}
+
+// StreamTrailer is the final NDJSON line of the streaming endpoint. Done
+// is true iff all T snapshots were emitted; Truncated names the reason
+// for a graceful early stop (e.g. "server draining"); Error reports a
+// mid-stream generation failure. Exactly one of the three shapes appears.
+type StreamTrailer struct {
+	Done      bool    `json:"done"`
+	Emitted   int     `json:"emitted"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Truncated string  `json:"truncated,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/generate/batch: R independent
+// sequences from one model, fanned out across the worker pool.
+type BatchRequest struct {
+	Model string `json:"model,omitempty"`
+	// T is the horizon of every sequence in the batch (required, 1..MaxT).
+	T int `json:"t"`
+	// Count is the number of sequences R (1..MaxBatch). Defaults to
+	// len(Seeds), or 1 when no seeds are given.
+	Count int `json:"count,omitempty"`
+	// Seeds pins the random streams of the first len(Seeds) sequences; the
+	// server draws the rest and reports every seed in the response.
+	Seeds        []int64 `json:"seeds,omitempty"`
+	DynamicNodes bool    `json:"dynamic_nodes,omitempty"`
+}
+
+// BatchItem is one generated sequence of a batch response. Error is set
+// (and Sequence nil) when that item's generation failed; other items are
+// unaffected.
+type BatchItem struct {
+	Seed      int64              `json:"seed"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+	Sequence  *dyngraph.Sequence `json:"sequence,omitempty"`
+	Error     string             `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/generate/batch.
+type BatchResponse struct {
+	Model     string      `json:"model"`
+	Count     int         `json:"count"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Results   []BatchItem `json:"results"`
+}
+
 // GenerateResponse is the body of a successful POST /v1/generate.
 type GenerateResponse struct {
 	Model     string             `json:"model"`
@@ -40,6 +105,27 @@ type MetricsResponse struct {
 	AttrJSD   *float64                `json:"attr_jsd,omitempty"`
 	AttrEMD   *float64                `json:"attr_emd,omitempty"`
 	Runtime   *RuntimeStats           `json:"runtime,omitempty"`
+	Server    *ServerStats            `json:"server,omitempty"`
+}
+
+// ServerStats reports per-endpoint request accounting alongside the
+// runtime/arena stats: who is being called, how often requests shed
+// (429/503), and where latency sits against fixed histogram buckets.
+type ServerStats struct {
+	UptimeS        float64                  `json:"uptime_s"`
+	BucketBoundsMS []float64                `json:"bucket_bounds_ms"`
+	Endpoints      map[string]EndpointStats `json:"endpoints"`
+}
+
+// EndpointStats is one endpoint's counters. Buckets has one count per
+// entry of BucketBoundsMS plus a final overflow bucket; counts are
+// per-bucket, not cumulative.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Shed     int64   `json:"shed"`
+	MeanMS   float64 `json:"mean_ms"`
+	Buckets  []int64 `json:"buckets"`
 }
 
 // RuntimeStats reports allocator, garbage-collector, and tensor-arena
@@ -71,9 +157,10 @@ type ModelInfo struct {
 
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
-	Status  string `json:"status"`
-	Models  int    `json:"models"`
-	Workers int    `json:"workers"`
+	Status   string `json:"status"`
+	Models   int    `json:"models"`
+	Workers  int    `json:"workers"`
+	Draining bool   `json:"draining,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

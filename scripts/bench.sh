@@ -1,18 +1,45 @@
 #!/usr/bin/env bash
-# bench.sh — run the tensor/gnn micro-benchmarks with -benchmem and write
-# the results as JSON, starting the repo's performance trajectory.
+# bench.sh — run the repo's benchmarks and write the results as JSON,
+# tracking the performance trajectory commit over commit.
 #
 # Usage:
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [output.json]          # micro mode (default): tensor/gnn kernels
+#   scripts/bench.sh serve [output.json]    # serve mode: HTTP load benchmark
+#
+# Micro mode runs the tensor/gnn micro-benchmarks with -benchmem and emits
+# a JSON array of {name, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op} objects (default BENCH_tensor.json).
+#
+# Serve mode drives `vrdag-bench -serve`: concurrent clients against an
+# in-process HTTP server, one scenario per generation endpoint (unary,
+# NDJSON streaming, batch), emitting {name, clients, requests, t, rps,
+# p50_ms, p99_ms, errors, snapshots, peak_rss_bytes} objects (default
+# BENCH_serve.json).
 #
 # Environment:
-#   BENCHTIME   go test -benchtime value (default 0.5s; CI uses 0.2s)
-#
-# The output is a JSON array of {name, iterations, ns_per_op, bytes_per_op,
-# allocs_per_op} objects, one per benchmark, suitable for diffing across
-# commits or feeding a dashboard.
+#   BENCHTIME        go test -benchtime value (default 0.5s; CI uses 0.2s)
+#   SERVE_CLIENTS    serve mode: concurrent clients   (default 8)
+#   SERVE_REQUESTS   serve mode: requests/scenario    (default 64)
+#   SERVE_T          serve mode: snapshots/request    (default 32)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mode=micro
+if [[ "${1:-}" == "serve" ]]; then
+  mode=serve
+  shift
+fi
+
+if [[ "$mode" == "serve" ]]; then
+  out="${1:-BENCH_serve.json}"
+  go run ./cmd/vrdag-bench -serve \
+    -serve-clients "${SERVE_CLIENTS:-8}" \
+    -serve-requests "${SERVE_REQUESTS:-64}" \
+    -serve-t "${SERVE_T:-32}" \
+    -serve-out "$out"
+  echo "wrote $(grep -c '"name"' "$out") serve-bench results to $out"
+  exit 0
+fi
 
 out="${1:-BENCH_tensor.json}"
 benchtime="${BENCHTIME:-0.5s}"
