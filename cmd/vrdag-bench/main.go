@@ -14,6 +14,12 @@
 // RSS per endpoint (unary, streaming, batch):
 //
 //	vrdag-bench -serve -serve-clients 8 -serve-requests 64 -serve-out BENCH_serve.json
+//
+// -train switches to the training-path benchmark: epoch wall-time,
+// windows/sec, and the allocation profile of the sequential TBPTT engine
+// versus the window-parallel engine at several worker counts:
+//
+//	vrdag-bench -train -train-scale 0.05 -train-workers 1,2,0 -train-out BENCH_train.json
 package main
 
 import (
@@ -41,8 +47,30 @@ func main() {
 		serveN        = flag.Int("serve-n", 48, "nodes in the benchmark model")
 		serveEpochs   = flag.Int("serve-epochs", 3, "training epochs for the benchmark model")
 		serveOut      = flag.String("serve-out", "", "write serve-bench JSON here (default stdout)")
+
+		train        = flag.Bool("train", false, "run the training-path benchmark instead of paper experiments")
+		trainScale   = flag.Float64("train-scale", 0.05, "Email replica scale for the training benchmark")
+		trainEpochs  = flag.Int("train-epochs", 4, "measured epochs per scenario")
+		trainWindow  = flag.Int("train-window", 2, "TBPTT window length (0 = full sequence)")
+		trainWorkers = flag.String("train-workers", "1,0", "CSV of parallel worker counts (0 = GOMAXPROCS)")
+		trainOut     = flag.String("train-out", "", "write train-bench JSON here (default stdout)")
 	)
 	flag.Parse()
+
+	if *train {
+		err := runTrainBench(trainOptions{
+			scale:   *trainScale,
+			epochs:  *trainEpochs,
+			window:  *trainWindow,
+			workers: *trainWorkers,
+			seed:    *seed,
+			out:     *trainOut,
+		})
+		if err != nil {
+			log.Fatalf("vrdag-bench: train: %v", err)
+		}
+		return
+	}
 
 	if *serve {
 		err := runServeBench(serveOptions{

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"vrdag/internal/core"
+	"vrdag/internal/datasets"
+)
+
+// Training-path benchmark: wall-time, throughput, and allocation profile
+// of the TBPTT training loop, comparing the sequential engine against the
+// window-parallel engine at several worker counts. Emitted as a JSON
+// array so CI can archive the trajectory next to BENCH_tensor.json and
+// BENCH_serve.json.
+
+type trainOptions struct {
+	scale   float64
+	epochs  int
+	window  int
+	workers string // CSV of parallel worker counts; 0 = GOMAXPROCS
+	seed    int64
+	out     string
+}
+
+type trainResult struct {
+	Name            string  `json:"name"`
+	Engine          string  `json:"engine"` // "sequential" or "parallel"
+	Workers         int     `json:"workers,omitempty"`
+	N               int     `json:"n"`
+	T               int     `json:"t"`
+	Window          int     `json:"tbptt_window"`
+	WindowsPerEpoch int     `json:"windows_per_epoch"`
+	Epochs          int     `json:"epochs"`
+	EpochMS         float64 `json:"epoch_ms"`
+	WindowsPerSec   float64 `json:"windows_per_sec"`
+	BytesPerEpoch   uint64  `json:"bytes_per_epoch"`
+	AllocsPerEpoch  uint64  `json:"allocs_per_epoch"`
+	SpeedupVs1      float64 `json:"speedup_vs_1_worker,omitempty"`
+	FinalLoss       float64 `json:"final_loss"`
+}
+
+func runTrainBench(o trainOptions) error {
+	g, _, err := datasets.Replica(datasets.Email, o.scale, o.seed)
+	if err != nil {
+		return err
+	}
+	window := o.window
+	if window <= 0 || window > g.T() {
+		window = g.T()
+	}
+	windowsPerEpoch := (g.T() + window - 1) / window
+
+	baseCfg := func() core.Config {
+		cfg := core.DefaultConfig(g.N, g.F)
+		cfg.Epochs = o.epochs
+		cfg.TBPTT = o.window
+		cfg.Seed = o.seed
+		return cfg
+	}
+
+	measure := func(name, engine string, workers int, cfg core.Config) (trainResult, error) {
+		// One throwaway epoch warms the arena, tapes, and CSR caches so
+		// the measured run reflects steady state.
+		warm := cfg
+		warm.Epochs = 1
+		if _, err := core.New(warm).Fit(g); err != nil {
+			return trainResult{}, fmt.Errorf("%s warm-up: %w", name, err)
+		}
+
+		m := core.New(cfg)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		stats, err := m.Fit(g)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return trainResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+		epochs := float64(cfg.Epochs)
+		epochMS := float64(elapsed.Microseconds()) / 1000 / epochs
+		return trainResult{
+			Name:            name,
+			Engine:          engine,
+			Workers:         workers,
+			N:               g.N,
+			T:               g.T(),
+			Window:          window,
+			WindowsPerEpoch: windowsPerEpoch,
+			Epochs:          cfg.Epochs,
+			EpochMS:         epochMS,
+			WindowsPerSec:   float64(windowsPerEpoch) / (epochMS / 1000),
+			BytesPerEpoch:   (after.TotalAlloc - before.TotalAlloc) / uint64(cfg.Epochs),
+			AllocsPerEpoch:  (after.Mallocs - before.Mallocs) / uint64(cfg.Epochs),
+			FinalLoss:       stats.Loss,
+		}, nil
+	}
+
+	var results []trainResult
+
+	seq, err := measure("train/sequential", "sequential", 0, baseCfg())
+	if err != nil {
+		return err
+	}
+	results = append(results, seq)
+
+	var oneWorkerMS float64
+	for _, field := range strings.Split(o.workers, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		w, err := strconv.Atoi(field)
+		if err != nil {
+			return fmt.Errorf("bad -train-workers entry %q: %w", field, err)
+		}
+		label := strconv.Itoa(w)
+		if w <= 0 {
+			w = 0
+			label = fmt.Sprintf("gomaxprocs(%d)", runtime.GOMAXPROCS(0))
+		}
+		cfg := baseCfg()
+		cfg.ParallelWindows = true
+		cfg.TrainWorkers = w
+		r, err := measure("train/parallel/"+label, "parallel", w, cfg)
+		if err != nil {
+			return err
+		}
+		effective := w
+		if effective == 0 {
+			effective = runtime.GOMAXPROCS(0)
+		}
+		if effective == 1 && oneWorkerMS == 0 {
+			oneWorkerMS = r.EpochMS
+		}
+		if oneWorkerMS > 0 {
+			r.SpeedupVs1 = oneWorkerMS / r.EpochMS
+		}
+		results = append(results, r)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if o.out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(o.out, data, 0o644)
+}

@@ -252,9 +252,3 @@ func (g *Gen) Generate(t int) (*dyngraph.Sequence, error) {
 	return out, nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -57,6 +57,22 @@ type Config struct {
 	// through the full sequence.
 	TBPTT int
 
+	// ParallelWindows opts in to the window-parallel training engine: a
+	// tape-free forward pass computes detached hidden-state seeds at every
+	// TBPTT window boundary, all windows then run concurrently on
+	// per-worker tapes, and their gradients are accumulated in window
+	// order into a single optimizer step per epoch. Results are
+	// bit-identical for any worker count (per-timestep random streams are
+	// derived from Seed, epoch, and timestep rather than drawn from the
+	// shared model rng). Off by default: the sequential path takes one
+	// Adam step per window, which converges faster on very short
+	// schedules; see docs/ARCHITECTURE.md "Training at scale".
+	ParallelWindows bool
+	// TrainWorkers caps the number of concurrent window workers when
+	// ParallelWindows is set (0 = GOMAXPROCS). The worker count never
+	// changes the trained weights, only the wall-time.
+	TrainWorkers int
+
 	// BiFlow toggles the bidirectional encoder (ablation switch; default
 	// true). UseSCE selects the scaled cosine error over MSE for attribute
 	// reconstruction (default true). UseTime2Vec toggles the temporal
@@ -146,24 +162,25 @@ type Model struct {
 	// steady-state training allocates almost nothing.
 	tape *tensor.Tape
 
+	// workerTapes are the per-worker tapes of the window-parallel training
+	// engine, grown on demand and reused across epochs like tape.
+	workerTapes []*tensor.Tape
+
 	// Statistics captured from the training sequence, used for the
 	// generation-time density/attribute calibration and the node
 	// add/delete extension of Section III-H.
-	edgeTargets     []float64   // expected |E_t| per step
-	activeStats     []float64   // mean newly-active node count per step
-	persistRate     float64     // P(edge at t | edge at t−1) in the training data
-	attrMean        []float64   // per-dimension attribute mean over the sequence
-	attrStd         []float64   // per-dimension attribute std over the sequence
-	attrRho         []float64   // per-dimension lag-1 autocorrelation
-	predSum, predSq []float64   // decoder-output moment sums (final epoch)
-	trueSum, trueSq []float64   // ground-truth moment sums
-	crossSum        []float64   // decoder×truth cross sums
-	residCount      float64     // samples accumulated into the moments
-	attrR2          []float64   // per-dimension decoder explanatory power in [0,1]
-	attrCorr        []float64   // data attribute correlation matrix (F×F)
-	attrQuantiles   [][]float64 // per-dimension empirical quantile grid
-	attrCorrChol    []float64   // Cholesky factor of attrCorr (static fallback)
-	trained         bool
+	edgeTargets   []float64    // expected |E_t| per step
+	activeStats   []float64    // mean newly-active node count per step
+	persistRate   float64      // P(edge at t | edge at t−1) in the training data
+	attrMean      []float64    // per-dimension attribute mean over the sequence
+	attrStd       []float64    // per-dimension attribute std over the sequence
+	attrRho       []float64    // per-dimension lag-1 autocorrelation
+	resid         residMoments // decoder↔truth moments of the final epoch
+	attrR2        []float64    // per-dimension decoder explanatory power in [0,1]
+	attrCorr      []float64    // data attribute correlation matrix (F×F)
+	attrQuantiles [][]float64  // per-dimension empirical quantile grid
+	attrCorrChol  []float64    // Cholesky factor of attrCorr (static fallback)
+	trained       bool
 }
 
 // New constructs an untrained VRDAG model.
@@ -291,11 +308,4 @@ func expClamp(v float64) float64 {
 	}
 	// exp computed via the tensor package's clamping convention
 	return math.Exp(v)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

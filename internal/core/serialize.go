@@ -4,16 +4,21 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"vrdag/internal/nn"
 )
 
 // modelState is the serialised form of a trained model: the configuration,
 // every named parameter tensor, and the calibration statistics captured
-// from the training sequence.
+// from the training sequence. Params is a name-sorted slice rather than a
+// map so Save is byte-deterministic: two models with identical weights
+// produce identical checkpoint files (gob serialises map entries in
+// iteration order, which Go randomises), which is what lets tests pin
+// that the parallel trainer's output is invariant to the worker count.
 type modelState struct {
 	Cfg     Config
-	Params  map[string]savedMatrix
+	Params  []savedParam
 	Trained bool
 
 	EdgeTargets   []float64
@@ -28,18 +33,19 @@ type modelState struct {
 	AttrQuantiles [][]float64
 }
 
-type savedMatrix struct {
+type savedParam struct {
+	Name       string
 	Rows, Cols int
 	Data       []float64
 }
 
 // Save writes the model (architecture config, parameters, calibration
 // statistics) to w in gob encoding. The model can be restored with Load
-// and generate immediately without retraining.
+// and generate immediately without retraining. Output bytes are a pure
+// function of the model state (parameters are emitted sorted by name).
 func (m *Model) Save(w io.Writer) error {
 	st := modelState{
 		Cfg:           m.Cfg,
-		Params:        make(map[string]savedMatrix),
 		Trained:       m.trained,
 		EdgeTargets:   m.edgeTargets,
 		ActiveStats:   m.activeStats,
@@ -52,27 +58,42 @@ func (m *Model) Save(w io.Writer) error {
 		AttrCorrChol:  m.attrCorrChol,
 		AttrQuantiles: m.attrQuantiles,
 	}
+	// TrainWorkers is a scheduling hint, not a model hyper-parameter: a
+	// checkpoint trained with 8 workers must be byte-identical to one
+	// trained with 1 (the worker-invariance contract) and must not pin a
+	// worker count on whatever machine later loads it.
+	st.Cfg.TrainWorkers = 0
+	seen := make(map[string]bool)
 	for _, p := range nn.CollectParams(m.Modules()...) {
-		if _, dup := st.Params[p.Name]; dup {
+		if seen[p.Name] {
 			return fmt.Errorf("core: duplicate parameter name %q", p.Name)
 		}
-		st.Params[p.Name] = savedMatrix{
+		seen[p.Name] = true
+		st.Params = append(st.Params, savedParam{
+			Name: p.Name,
 			Rows: p.Value.Rows, Cols: p.Value.Cols,
 			Data: append([]float64(nil), p.Value.Data...),
-		}
+		})
 	}
+	sort.Slice(st.Params, func(i, j int) bool { return st.Params[i].Name < st.Params[j].Name })
 	return gob.NewEncoder(w).Encode(&st)
 }
 
-// Load restores a model previously written with Save.
+// Load restores a model previously written with Save. Checkpoints written
+// before the byte-deterministic format (parameters as a name-sorted slice
+// rather than a gob map) cannot be decoded; re-save them with this build.
 func Load(r io.Reader) (*Model, error) {
 	var st modelState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("core: decode model: %w", err)
+		return nil, fmt.Errorf("core: decode model (checkpoints from before the name-sorted parameter format must be retrained or re-saved): %w", err)
+	}
+	byName := make(map[string]*savedParam, len(st.Params))
+	for i := range st.Params {
+		byName[st.Params[i].Name] = &st.Params[i]
 	}
 	m := New(st.Cfg)
 	for _, p := range nn.CollectParams(m.Modules()...) {
-		sm, ok := st.Params[p.Name]
+		sm, ok := byName[p.Name]
 		if !ok {
 			return nil, fmt.Errorf("core: saved model missing parameter %q", p.Name)
 		}

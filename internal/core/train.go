@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"vrdag/internal/dyngraph"
@@ -69,8 +70,17 @@ func (m *Model) FitContext(ctx context.Context, g *dyngraph.Sequence, opts ...Fi
 		if err := ctx.Err(); err != nil {
 			return last, err
 		}
-		stats, err := m.runEpoch(g, epoch)
+		var stats TrainStats
+		var err error
+		if m.Cfg.ParallelWindows {
+			stats, err = m.runEpochParallel(ctx, g, epoch)
+		} else {
+			stats, err = m.runEpoch(g, epoch)
+		}
 		if err != nil {
+			if ctx.Err() != nil { // cancelled mid-epoch: report the last full epoch
+				return last, ctx.Err()
+			}
 			return stats, err
 		}
 		if o.progress != nil {
@@ -348,33 +358,76 @@ func (m *Model) runEpoch(g *dyngraph.Sequence, epoch int) (TrainStats, error) {
 	return agg, nil
 }
 
-// recordResiduals accumulates, during the final training epoch, the
-// moments needed to estimate each dimension's decoder↔truth correlation.
-// A VAE decoder parameterises the *mean* of the attribute likelihood; the
+// residMoments accumulates, during the final training epoch, the moments
+// needed to estimate each dimension's decoder↔truth correlation. A VAE
+// decoder parameterises the *mean* of the attribute likelihood; the
 // squared correlation is its scale-free explanatory power (the scaled
 // cosine loss of Eq. 18 deliberately ignores output scale, so a
-// variance-ratio R² would be meaningless).
-func (m *Model) recordResiduals(xHat, x *tensor.Matrix, reset bool) {
+// variance-ratio R² would be meaningless). The window-parallel trainer
+// keeps one accumulator per window and merges them in window order, so
+// the sums are identical whatever the worker count.
+type residMoments struct {
+	predSum, predSq []float64 // decoder-output moment sums
+	trueSum, trueSq []float64 // ground-truth moment sums
+	crossSum        []float64 // decoder×truth cross sums
+	count           float64   // samples accumulated into the moments
+}
+
+func (r *residMoments) reset() { *r = residMoments{} }
+
+func (r *residMoments) init(f int) {
+	r.predSum = make([]float64, f)
+	r.predSq = make([]float64, f)
+	r.trueSum = make([]float64, f)
+	r.trueSq = make([]float64, f)
+	r.crossSum = make([]float64, f)
+	r.count = 0
+}
+
+func (r *residMoments) record(xHat, x *tensor.Matrix) {
 	f := x.Cols
-	if reset || m.predSum == nil {
-		m.predSum = make([]float64, f)
-		m.predSq = make([]float64, f)
-		m.trueSum = make([]float64, f)
-		m.trueSq = make([]float64, f)
-		m.crossSum = make([]float64, f)
-		m.residCount = 0
+	if r.predSum == nil {
+		r.init(f)
 	}
 	for i := 0; i < x.Rows; i++ {
 		for j := 0; j < f; j++ {
 			p, tv := xHat.At(i, j), x.At(i, j)
-			m.predSum[j] += p
-			m.predSq[j] += p * p
-			m.trueSum[j] += tv
-			m.trueSq[j] += tv * tv
-			m.crossSum[j] += p * tv
+			r.predSum[j] += p
+			r.predSq[j] += p * p
+			r.trueSum[j] += tv
+			r.trueSq[j] += tv * tv
+			r.crossSum[j] += p * tv
 		}
-		m.residCount++
+		r.count++
 	}
+}
+
+// merge folds another accumulator into r (per-dimension sums add; the
+// caller controls merge order for float determinism).
+func (r *residMoments) merge(o *residMoments) {
+	if o.predSum == nil {
+		return
+	}
+	if r.predSum == nil {
+		r.init(len(o.predSum))
+	}
+	for j := range r.predSum {
+		r.predSum[j] += o.predSum[j]
+		r.predSq[j] += o.predSq[j]
+		r.trueSum[j] += o.trueSum[j]
+		r.trueSq[j] += o.trueSq[j]
+		r.crossSum[j] += o.crossSum[j]
+	}
+	r.count += o.count
+}
+
+// recordResiduals is the sequential trainer's entry point into the moment
+// accumulator; reset starts a fresh final-epoch accumulation.
+func (m *Model) recordResiduals(xHat, x *tensor.Matrix, reset bool) {
+	if reset {
+		m.resid.reset()
+	}
+	m.resid.record(xHat, x)
 }
 
 // finalizeResiduals turns the accumulated moments into the per-dimension
@@ -385,17 +438,17 @@ func (m *Model) recordResiduals(xHat, x *tensor.Matrix, reset bool) {
 // attribute distribution while a converged decoder dominates the sample.
 func (m *Model) finalizeResiduals() {
 	f := m.Cfg.F
-	if f == 0 || m.residCount == 0 {
+	if f == 0 || m.resid.count == 0 {
 		return
 	}
 	m.attrR2 = make([]float64, f)
-	c := m.residCount
+	c := m.resid.count
 	for j := 0; j < f; j++ {
-		mp := m.predSum[j] / c
-		mt := m.trueSum[j] / c
-		vp := m.predSq[j]/c - mp*mp
-		vt := m.trueSq[j]/c - mt*mt
-		cov := m.crossSum[j]/c - mp*mt
+		mp := m.resid.predSum[j] / c
+		mt := m.resid.trueSum[j] / c
+		vp := m.resid.predSq[j]/c - mp*mp
+		vt := m.resid.trueSq[j]/c - mt*mt
+		cov := m.resid.crossSum[j]/c - mp*mt
 		if vp <= 1e-12 || vt <= 1e-12 {
 			continue
 		}
@@ -469,13 +522,20 @@ func (m *Model) gruInput(c *nn.Ctx, eps, z *tensor.Node, t, n int) *tensor.Node 
 // samplePairs returns the training pairs for the structure loss: all
 // positive edges of the snapshot plus NegSamples random non-edges per node.
 func (m *Model) samplePairs(s *dyngraph.Snapshot) (src, dst []int, targets *tensor.Matrix) {
+	return m.samplePairsRng(s, m.rng)
+}
+
+// samplePairsRng is samplePairs with an explicit negative-sampling stream,
+// so the window-parallel trainer can prepare every timestep's pairs
+// concurrently from per-timestep derived sources.
+func (m *Model) samplePairsRng(s *dyngraph.Snapshot, rng *rand.Rand) (src, dst []int, targets *tensor.Matrix) {
 	n := s.N
 	esrc, edst := s.EdgeLists()
 	src = append(src, esrc...)
 	dst = append(dst, edst...)
 	for i := 0; i < n; i++ {
 		for q := 0; q < m.Cfg.NegSamples; q++ {
-			j := m.rng.Intn(n)
+			j := rng.Intn(n)
 			if j == i || s.HasEdge(i, j) {
 				continue // keep the pair count stochastic but unbiased
 			}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"vrdag/internal/metrics"
+	"vrdag/internal/tensor"
+)
+
+// parallelConfig is the shared fixture config: several TBPTT windows,
+// neighbour sampling on (so every derived random stream is exercised),
+// and enough epochs for the loss to move.
+func parallelConfig(n, f, workers int) Config {
+	cfg := smallConfig(n, f)
+	cfg.TBPTT = 2
+	cfg.Epochs = 4
+	cfg.NeighborSample = 3
+	cfg.ParallelWindows = true
+	cfg.TrainWorkers = workers
+	return cfg
+}
+
+// fitStats trains a fresh model and returns every epoch's stats plus the
+// serialized checkpoint bytes.
+func fitStats(t *testing.T, cfg Config) ([]TrainStats, []byte) {
+	t.Helper()
+	seq := toyGraph(cfg.N, cfg.F, 8, 41)
+	m := New(cfg)
+	var all []TrainStats
+	if _, err := m.Fit(seq, WithProgress(func(s TrainStats) { all = append(all, s) })); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return all, buf.Bytes()
+}
+
+// TestParallelWindowsWorkerInvariance is the determinism contract of the
+// parallel engine: the per-epoch loss statistics and the post-Fit
+// checkpoint bytes must be bit-identical for 1, 2, and 8 workers.
+func TestParallelWindowsWorkerInvariance(t *testing.T) {
+	refStats, refBytes := fitStats(t, parallelConfig(14, 2, 1))
+	for _, workers := range []int{2, 8} {
+		stats, ckpt := fitStats(t, parallelConfig(14, 2, workers))
+		if len(stats) != len(refStats) {
+			t.Fatalf("workers=%d: %d epochs, want %d", workers, len(stats), len(refStats))
+		}
+		for e := range stats {
+			if stats[e] != refStats[e] {
+				t.Fatalf("workers=%d epoch %d: stats %+v differ from 1-worker %+v",
+					workers, e, stats[e], refStats[e])
+			}
+		}
+		if !bytes.Equal(ckpt, refBytes) {
+			t.Fatalf("workers=%d: checkpoint bytes differ from the 1-worker run", workers)
+		}
+	}
+}
+
+// TestParallelWindowsTrains: the accumulated-step schedule must still
+// learn (loss decreases) and leave a model that generates valid output.
+func TestParallelWindowsTrains(t *testing.T) {
+	g := toyGraph(14, 2, 8, 41)
+	cfg := parallelConfig(14, 2, 0) // 0 = GOMAXPROCS
+	cfg.Epochs = 10
+	m := New(cfg)
+	var first, last float64
+	if _, err := m.Fit(g, WithProgress(func(s TrainStats) {
+		if s.Epoch == 0 {
+			first = s.Loss
+		}
+		last = s.Loss
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Fatalf("parallel training did not reduce loss: %g -> %g", first, last)
+	}
+	out, err := m.Generate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelWindowsSingleWindow: with TBPTT unset the engine degenerates
+// to one window; it must still train rather than deadlock or divide by
+// zero.
+func TestParallelWindowsSingleWindow(t *testing.T) {
+	g := toyGraph(10, 1, 4, 43)
+	cfg := smallConfig(10, 1)
+	cfg.ParallelWindows = true
+	cfg.Epochs = 2
+	m := New(cfg)
+	if _, err := m.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelFitCancellationReleasesArena cancels training mid-epoch and
+// asserts the strongest memory contract the engine offers: every pooled
+// buffer the cancelled epochs took — per-window tapes, gradient buffers,
+// noise matrices, hidden-state seeds — went back to the arena, so gets
+// and puts balance exactly.
+func TestParallelFitCancellationReleasesArena(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based cancellation test skipped in -short mode")
+	}
+	g := toyGraph(14, 2, 8, 47)
+	cfg := parallelConfig(14, 2, 4)
+	cfg.Epochs = 10_000 // far more than can run before the cancel lands
+
+	// Warm-up on a separate model so one-time allocations that outlive a
+	// Fit call (snapshot CSR caches on g) don't skew the counter delta.
+	warm := New(cfg)
+	warmCtx, warmCancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); warmCancel() }()
+	if _, err := warm.FitContext(warmCtx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("warm-up err = %v, want context.Canceled", err)
+	}
+
+	m := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(80 * time.Millisecond); cancel() }()
+	before := tensor.ReadPoolStats()
+	_, err := m.FitContext(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m.Trained() {
+		t.Fatal("cancelled training must leave the model untrained")
+	}
+	after := tensor.ReadPoolStats()
+	if gets, puts := after.Gets-before.Gets, after.Puts-before.Puts; gets != puts {
+		t.Fatalf("cancelled parallel Fit leaked arena buffers: %d gets vs %d puts", gets, puts)
+	}
+}
+
+// TestParallelWindowsFidelityParity trains the sequential and the
+// parallel engine on the same data and compares the Table-1 structure
+// metrics of their generated sequences. The two schedules are not
+// numerically identical (per-window steps vs one accumulated step), but
+// they must land in the same fidelity regime — this guards against the
+// parallel path silently optimising a different objective.
+func TestParallelWindowsFidelityParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full training runs skipped in -short mode")
+	}
+	g := toyGraph(16, 2, 8, 51)
+
+	gen := func(parallel bool) metrics.StructureReport {
+		cfg := smallConfig(16, 2)
+		cfg.TBPTT = 2
+		cfg.Epochs = 8
+		cfg.ParallelWindows = parallel
+		m := New(cfg)
+		if _, err := m.Fit(g); err != nil {
+			t.Fatalf("Fit(parallel=%v): %v", parallel, err)
+		}
+		out, err := m.GenerateOpts(GenOptions{T: g.T(), Seed: 7})
+		if err != nil {
+			t.Fatalf("Generate(parallel=%v): %v", parallel, err)
+		}
+		return metrics.CompareStructure(g, out)
+	}
+
+	seq := gen(false)
+	par := gen(true)
+	check := func(name string, a, b float64) {
+		// Generous but meaningful bound: the Table-1 metrics on this toy
+		// graph sit well below 1 for any sane model and blow up past it
+		// when training is broken.
+		if d := math.Abs(a - b); d > 0.75 {
+			t.Errorf("%s: sequential %.4f vs parallel %.4f (|Δ| = %.4f > 0.75)", name, a, b, d)
+		}
+	}
+	check("InDegMMD", seq.InDegMMD, par.InDegMMD)
+	check("OutDegMMD", seq.OutDegMMD, par.OutDegMMD)
+	check("ClusMMD", seq.ClusMMD, par.ClusMMD)
+	check("InPLE", seq.InPLE, par.InPLE)
+	check("OutPLE", seq.OutPLE, par.OutPLE)
+	check("Wedge", seq.Wedge, par.Wedge)
+	check("NC", seq.NC, par.NC)
+	check("LCC", seq.LCC, par.LCC)
+}
+
+// TestSaveDeterministicBytes pins the serialization property the
+// worker-invariance test relies on: two Save calls on the same model
+// produce identical bytes.
+func TestSaveDeterministicBytes(t *testing.T) {
+	g := toyGraph(10, 1, 3, 53)
+	m := New(smallConfig(10, 1))
+	if _, err := m.Fit(g); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := m.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two Save calls on one model produced different bytes")
+	}
+}

@@ -263,9 +263,3 @@ func RunCaseStudy(orig *dyngraph.Sequence, synthetic *dyngraph.Sequence, cfg Con
 	return
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

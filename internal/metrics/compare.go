@@ -204,10 +204,3 @@ func AttrEMD(orig, gen *dyngraph.Sequence) float64 {
 	}
 	return sum / float64(len(a))
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -45,6 +45,49 @@ func TestMMDNonNegative(t *testing.T) {
 	}
 }
 
+// TestMMDParallelMatchesSerial: above mmdParallelWork the row sums fan
+// out across cores; the per-row decomposition must keep the result
+// bit-identical to the serial path (forced by calling through chunks that
+// stay under the threshold and comparing against the full sample).
+func TestMMDParallelMatchesSerial(t *testing.T) {
+	// Large enough that len(x)·(len(x)+len(y)) + len(y)² crosses the
+	// threshold and the parallel path runs whenever GOMAXPROCS > 1.
+	x := normalSample(160, 0, 1, 11)
+	y := normalSample(140, 0.7, 1.5, 12)
+	got := MMD(x, y, 1)
+
+	// Serial reference via the same row decomposition, inline.
+	g := 1 / (2 * 1.0 * 1.0)
+	k := func(a, b float64) float64 { d := a - b; return math.Exp(-d * d * g) }
+	var kxx, kxy, kyy float64
+	for _, a := range x {
+		var sxx, sxy float64
+		for _, b := range x {
+			sxx += k(a, b)
+		}
+		for _, b := range y {
+			sxy += k(a, b)
+		}
+		kxx += sxx
+		kxy += sxy
+	}
+	for _, a := range y {
+		var syy float64
+		for _, b := range y {
+			syy += k(a, b)
+		}
+		kyy += syy
+	}
+	nx, ny := float64(len(x)), float64(len(y))
+	want := kxx/(nx*nx) + kyy/(ny*ny) - 2*kxy/(nx*ny)
+	if want < 0 {
+		want = 0
+	}
+	if got != want {
+		t.Fatalf("MMD = %g, serial row-decomposed reference = %g (must be bit-identical)", got, want)
+	}
+}
+
 func TestMMDEmptyInputs(t *testing.T) {
 	if MMD(nil, []float64{1}, 1) != 0 || MMD([]float64{1}, nil, 1) != 0 {
 		t.Fatal("empty samples must give 0")

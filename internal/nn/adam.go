@@ -6,6 +6,15 @@ import (
 	"vrdag/internal/tensor"
 )
 
+// GradSink receives parameter gradients flushed from a forward/backward
+// pass. *Adam accumulates them straight into the optimizer buffers (the
+// sequential training path); *GradBuffer collects them privately so
+// concurrent workers can each own a sink and merge deterministically
+// afterwards.
+type GradSink interface {
+	Accumulate(p *Param, grad *tensor.Matrix)
+}
+
 // Adam implements the Adam optimizer with optional global-norm gradient
 // clipping. Gradients are read from the tape nodes captured during the
 // forward pass via a GradSource.
@@ -59,6 +68,70 @@ func (a *Adam) Accumulate(p *Param, grad *tensor.Matrix) {
 	}
 }
 
+// GradBuffer is a detached gradient accumulator over the same parameter
+// set as its parent Adam. Window-parallel training gives every in-flight
+// window its own buffer: workers flush into it without synchronisation,
+// and the engine merges the buffers into the optimizer in deterministic
+// window order with Adam.AddFrom, so the summed gradient — and therefore
+// every weight byte after Step — is independent of the worker count.
+//
+// Buffers are lazily drawn from the pooled tensor arena (a window usually
+// touches every parameter, but a cancelled one may touch none) and must be
+// returned with Release.
+type GradBuffer struct {
+	adam  *Adam
+	grads []*tensor.Matrix // lazily pooled, parallel to adam.params
+}
+
+// NewGradBuffer creates an empty gradient accumulator bound to a's
+// parameter set.
+func (a *Adam) NewGradBuffer() *GradBuffer {
+	return &GradBuffer{adam: a, grads: make([]*tensor.Matrix, len(a.params))}
+}
+
+// Accumulate implements GradSink: it adds grad into the buffer's private
+// slot for p. Unlike Adam.Accumulate it never touches optimizer state, so
+// concurrent GradBuffers are independent.
+func (b *GradBuffer) Accumulate(p *Param, grad *tensor.Matrix) {
+	i, ok := b.adam.binding[p]
+	if !ok {
+		panic("nn: Accumulate on unknown parameter " + p.Name)
+	}
+	if grad == nil {
+		return
+	}
+	if b.grads[i] == nil {
+		b.grads[i] = tensor.Get(p.Value.Rows, p.Value.Cols)
+	}
+	b.grads[i].AddInPlace(grad)
+}
+
+// Release returns every pooled gradient matrix to the arena. The buffer
+// is reusable afterwards (it reverts to the empty state).
+func (b *GradBuffer) Release() {
+	for i, g := range b.grads {
+		if g != nil {
+			tensor.Put(g)
+			b.grads[i] = nil
+		}
+	}
+}
+
+// AddFrom folds a worker's gradient buffer into the optimizer's
+// accumulated gradients. Call once per buffer, in a deterministic order
+// (window order for the parallel trainer), then Step exactly as in the
+// sequential path.
+func (a *Adam) AddFrom(b *GradBuffer) {
+	if b.adam != a {
+		panic("nn: AddFrom with a GradBuffer bound to a different optimizer")
+	}
+	for i, g := range b.grads {
+		if g != nil {
+			a.grads[i].AddInPlace(g)
+		}
+	}
+}
+
 // GradNorm returns the current global gradient L2 norm.
 func (a *Adam) GradNorm() float64 {
 	s := 0.0
@@ -98,17 +171,27 @@ func (a *Adam) Step() float64 {
 
 // Ctx carries the tape through a forward pass and tracks the tape nodes
 // created for each parameter so their gradients can be routed into the
-// optimizer afterwards. An eval context (adam == nil) records parameters
-// as constants, skipping gradient bookkeeping entirely.
+// sink afterwards. An eval context (sink == nil) records parameters as
+// constants, skipping gradient bookkeeping entirely.
 type Ctx struct {
 	Tape  *tensor.Tape
-	adam  *Adam
+	sink  GradSink
 	nodes map[*Param][]*tensor.Node
 }
 
 // NewTrainCtx creates a context that tracks parameter gradients for adam.
 func NewTrainCtx(tape *tensor.Tape, adam *Adam) *Ctx {
-	return &Ctx{Tape: tape, adam: adam, nodes: make(map[*Param][]*tensor.Node)}
+	if adam == nil { // avoid a typed-nil sink masquerading as a training ctx
+		return NewEvalCtx(tape)
+	}
+	return NewSinkCtx(tape, adam)
+}
+
+// NewSinkCtx creates a training context whose Flush delivers gradients to
+// an arbitrary sink — a detached GradBuffer for window-parallel workers,
+// or the optimizer itself (equivalent to NewTrainCtx).
+func NewSinkCtx(tape *tensor.Tape, sink GradSink) *Ctx {
+	return &Ctx{Tape: tape, sink: sink, nodes: make(map[*Param][]*tensor.Node)}
 }
 
 // NewEvalCtx creates an inference context: parameters become constants.
@@ -117,13 +200,13 @@ func NewEvalCtx(tape *tensor.Tape) *Ctx {
 }
 
 // Training reports whether this context tracks gradients.
-func (c *Ctx) Training() bool { return c.adam != nil }
+func (c *Ctx) Training() bool { return c.sink != nil }
 
 // Var returns a tape node for parameter p. In training contexts the node
 // is differentiable and remembered for Flush; in eval contexts it is a
 // constant.
 func (c *Ctx) Var(p *Param) *tensor.Node {
-	if c.adam == nil {
+	if c.sink == nil {
 		return c.Tape.Const(p.Value)
 	}
 	n := c.Tape.Var(p.Value)
@@ -131,16 +214,17 @@ func (c *Ctx) Var(p *Param) *tensor.Node {
 	return n
 }
 
-// Flush moves all captured node gradients into the optimizer buffers.
-// Call after Tape.Backward and before Adam.Step.
+// Flush moves all captured node gradients into the sink. Call after
+// Tape.Backward and before the gradients are consumed (Adam.Step for the
+// sequential path, Adam.AddFrom for buffered workers).
 func (c *Ctx) Flush() {
-	if c.adam == nil {
+	if c.sink == nil {
 		return
 	}
 	for p, ns := range c.nodes {
 		for _, n := range ns {
 			if n.Grad != nil {
-				c.adam.Accumulate(p, n.Grad)
+				c.sink.Accumulate(p, n.Grad)
 			}
 		}
 	}

@@ -713,6 +713,10 @@ func readRuntimeStats() *RuntimeStats {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	ps := tensor.ReadPoolStats()
+	hitRate := 0.0
+	if ps.Gets > 0 {
+		hitRate = float64(ps.Hits) / float64(ps.Gets)
+	}
 	return &RuntimeStats{
 		HeapAllocBytes:  ms.HeapAlloc,
 		TotalAllocBytes: ms.TotalAlloc,
@@ -722,7 +726,11 @@ func readRuntimeStats() *RuntimeStats {
 		Goroutines:      runtime.NumGoroutine(),
 		PoolGets:        ps.Gets,
 		PoolHits:        ps.Hits,
+		PoolPuts:        ps.Puts,
+		PoolSteals:      ps.Steals,
+		PoolHitRate:     hitRate,
 		PoolRetainedB:   ps.RetainedBytes,
+		PoolShards:      ps.Shards,
 	}
 }
 

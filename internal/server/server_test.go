@@ -224,6 +224,23 @@ func TestMetricsEndpoint(t *testing.T) {
 	if out.AttrJSD == nil || out.AttrEMD == nil {
 		t.Fatal("attributed model should report attr metrics")
 	}
+	if out.Runtime == nil {
+		t.Fatal("metrics response should include runtime stats")
+	}
+	if len(out.Runtime.PoolShards) == 0 {
+		t.Fatal("runtime stats should include the arena shard breakdown")
+	}
+	if out.Runtime.PoolGets > 0 && out.Runtime.PoolHitRate <= 0 {
+		t.Fatalf("warm arena reported hit rate %v with %d gets",
+			out.Runtime.PoolHitRate, out.Runtime.PoolGets)
+	}
+	var shardGets int64
+	for _, sh := range out.Runtime.PoolShards {
+		shardGets += sh.Gets
+	}
+	if shardGets != out.Runtime.PoolGets {
+		t.Fatalf("shard gets sum %d != total %d", shardGets, out.Runtime.PoolGets)
+	}
 }
 
 func TestMetricsDefaultHorizonClampedToMaxT(t *testing.T) {

@@ -3,6 +3,7 @@ package server
 import (
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/metrics"
+	"vrdag/internal/tensor"
 )
 
 // GenerateRequest is the body of POST /v1/generate.
@@ -130,7 +131,10 @@ type EndpointStats struct {
 
 // RuntimeStats reports allocator, garbage-collector, and tensor-arena
 // health alongside the fidelity metrics, so the serving layer's memory
-// behaviour under load is observable without attaching a profiler.
+// behaviour under load is observable without attaching a profiler. The
+// arena counters include the sharded free-list breakdown: a skewed shard
+// or a climbing steal rate is the production signal that pool contention
+// (not kernel math) is eating concurrency.
 type RuntimeStats struct {
 	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
 	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
@@ -140,7 +144,12 @@ type RuntimeStats struct {
 	Goroutines      int     `json:"goroutines"`
 	PoolGets        int64   `json:"tensor_pool_gets"`
 	PoolHits        int64   `json:"tensor_pool_hits"`
+	PoolPuts        int64   `json:"tensor_pool_puts"`
+	PoolSteals      int64   `json:"tensor_pool_steals"`
+	PoolHitRate     float64 `json:"tensor_pool_hit_rate"` // hits/gets since process start
 	PoolRetainedB   int64   `json:"tensor_pool_retained_bytes"`
+
+	PoolShards []tensor.PoolShardStats `json:"tensor_pool_shards"`
 }
 
 // ModelInfo is one entry of GET /v1/models.

@@ -1,0 +1,42 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs f(0..n-1) across at most workers goroutines, pulling
+// indices from an atomic cursor so the tail stays balanced when workers
+// doesn't divide n. With one worker (or n <= 1) f runs inline on the
+// calling goroutine. Assignment order is first-come: callers that need
+// deterministic results write them to index-keyed slots, never append in
+// completion order. Compare parallelRows, which hands out contiguous
+// chunks for cache-friendly row kernels; this helper suits loops whose
+// iterations are independent units of unequal or unknown cost.
+func ParallelFor(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,6 +2,8 @@ package tensor
 
 import (
 	"math/bits"
+	"math/rand/v2"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -13,6 +15,17 @@ import (
 // thousands of short-lived matrices with a small set of recurring shapes;
 // recycling the backing slices removes that load from the garbage
 // collector entirely once the pool is warm.
+//
+// Each size bucket is sharded: GOMAXPROCS-many free lists (capped at
+// maxPoolShards) each behind their own mutex, plus one shared overflow
+// list per bucket. A caller picks a shard with a cheap per-thread random
+// hint, so concurrent training workers and generation requests almost
+// never contend on the same lock. A Get that misses its home shard scans
+// the other shards with try-locks (a "steal"), then the overflow list,
+// and only then allocates. A Put lands on the caller's home shard until
+// that shard reaches its byte budget, after which the buffer spills to
+// the overflow list or, past the bucket-wide budget, is dropped for the
+// GC to reclaim.
 //
 // Ownership discipline:
 //
@@ -35,21 +48,107 @@ const (
 	numBuckets    = maxBucketBits - minBucketBits + 1
 
 	// maxBucketBytes bounds the memory one bucket retains so a burst of
-	// huge intermediates cannot pin unbounded memory.
+	// huge intermediates cannot pin unbounded memory. Half the budget is
+	// split evenly across the shards, half goes to the overflow list.
 	maxBucketBytes = 1 << 25 // 32 MB per bucket
+
+	// maxPoolShards caps the shard count: past ~16 ways the locks stop
+	// being the bottleneck and the extra lists only fragment the pool.
+	maxPoolShards = 16
 )
 
-type bucketPool struct {
+// poolShards is fixed at init from GOMAXPROCS; shard ids index both the
+// per-bucket free lists and the per-shard counters.
+var poolShards = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxPoolShards {
+		n = maxPoolShards
+	}
+	return n
+}()
+
+// maxShardBytes is one shard's retained-byte budget within a bucket.
+var maxShardBytes = maxBucketBytes / 2 / poolShards
+
+type freeList struct {
 	mu   sync.Mutex
 	free [][]float64
+	_    [5]uint64 // keep neighbouring shard locks off one cache line
+}
+
+// pop removes and returns the most recently freed buffer, or nil when the
+// list is empty. With try set it gives up instead of blocking on the lock
+// (the steal path must never serialize behind a busy shard).
+func (l *freeList) pop(try bool) []float64 {
+	if try {
+		if !l.mu.TryLock() {
+			return nil
+		}
+	} else {
+		l.mu.Lock()
+	}
+	var data []float64
+	if k := len(l.free); k > 0 {
+		data = l.free[k-1]
+		l.free[k-1] = nil
+		l.free = l.free[:k-1]
+	}
+	l.mu.Unlock()
+	return data
+}
+
+// push appends buf if the list stays within budget bytes; reports whether
+// the buffer was retained.
+func (l *freeList) push(buf []float64, budget int) bool {
+	l.mu.Lock()
+	ok := (len(l.free)+1)*cap(buf)*8 <= budget
+	if ok {
+		l.free = append(l.free, buf)
+	}
+	l.mu.Unlock()
+	return ok
+}
+
+type bucketPool struct {
+	shards   []freeList // len poolShards
+	overflow freeList
+}
+
+// shardCounters accumulate per-shard arena traffic. They are keyed by the
+// caller's shard hint, not by where a buffer physically came from, so the
+// numbers describe contention domains: a hot shard means many goroutines
+// hash there, a high steal count means Puts and Gets land on different
+// shards (e.g. producer/consumer pipelines).
+type shardCounters struct {
+	gets, hits, frees, steals atomic.Int64
+	_                         [4]uint64 // pad to a cache line
 }
 
 var (
-	arena     [numBuckets]bucketPool
-	poolGets  atomic.Int64
-	poolHits  atomic.Int64
-	poolFrees atomic.Int64
+	arena      [numBuckets]bucketPool
+	shardStats []shardCounters
 )
+
+func init() {
+	for i := range arena {
+		arena[i].shards = make([]freeList, poolShards)
+	}
+	shardStats = make([]shardCounters, poolShards)
+}
+
+// shardHint picks the caller's home shard. rand/v2's global generator is
+// backed by per-thread runtime state, so this is a few nanoseconds, scales
+// with cores, and — unlike a shared atomic counter — adds no contention of
+// its own. The choice never affects results, only which lock is taken.
+func shardHint() int {
+	if poolShards == 1 {
+		return 0
+	}
+	return int(rand.Uint32N(uint32(poolShards)))
+}
 
 // bucketIndex returns the arena bucket for a buffer of n floats, or -1
 // when n is zero or exceeds the largest bucket.
@@ -76,19 +175,26 @@ func Get(rows, cols int) *Matrix {
 		return New(rows, cols)
 	}
 	bp := &arena[idx]
-	var data []float64
-	bp.mu.Lock()
-	if k := len(bp.free); k > 0 {
-		data = bp.free[k-1]
-		bp.free[k-1] = nil
-		bp.free = bp.free[:k-1]
+	h := shardHint()
+	sc := &shardStats[h]
+	sc.gets.Add(1)
+
+	data := bp.shards[h].pop(false)
+	if data == nil && poolShards > 1 {
+		for i := 1; i < poolShards; i++ {
+			if data = bp.shards[(h+i)%poolShards].pop(true); data != nil {
+				sc.steals.Add(1)
+				break
+			}
+		}
 	}
-	bp.mu.Unlock()
-	poolGets.Add(1)
+	if data == nil {
+		data = bp.overflow.pop(false)
+	}
 	if data == nil {
 		data = make([]float64, 1<<(idx+minBucketBits))
 	} else {
-		poolHits.Add(1)
+		sc.hits.Add(1)
 		data = data[:n]
 		for i := range data {
 			data[i] = 0
@@ -113,14 +219,14 @@ func Put(m *Matrix) {
 	if b < minBucketBits || b > maxBucketBits {
 		return
 	}
-	idx := b - minBucketBits
-	bp := &arena[idx]
-	bp.mu.Lock()
-	if (len(bp.free)+1)*c*8 <= maxBucketBytes {
-		bp.free = append(bp.free, m.Data[:c])
+	bp := &arena[b-minBucketBits]
+	h := shardHint()
+	shardStats[h].frees.Add(1)
+	buf := m.Data[:c]
+	if bp.shards[h].push(buf, maxShardBytes) {
+		return
 	}
-	bp.mu.Unlock()
-	poolFrees.Add(1)
+	bp.overflow.push(buf, maxBucketBytes/2)
 }
 
 // PoolStats is a snapshot of the arena counters; exposed so serving-layer
@@ -129,17 +235,53 @@ type PoolStats struct {
 	Gets          int64 // pool allocations requested since process start
 	Hits          int64 // requests served by recycling a buffer
 	Puts          int64 // buffers returned
+	Steals        int64 // hits served by a shard other than the caller's
 	RetainedBytes int64 // bytes currently held on free lists
+
+	Shards []PoolShardStats // per-shard traffic, indexed by shard id
 }
 
-// ReadPoolStats returns current arena counters.
+// PoolShardStats is one shard's slice of the arena counters.
+type PoolShardStats struct {
+	Gets          int64 `json:"gets"`
+	Hits          int64 `json:"hits"`
+	Puts          int64 `json:"puts"`
+	Steals        int64 `json:"steals"`
+	RetainedBytes int64 `json:"retained_bytes"`
+}
+
+// ReadPoolStats returns current arena counters, including the per-shard
+// breakdown (len(Shards) == the process's shard count).
 func ReadPoolStats() PoolStats {
-	s := PoolStats{Gets: poolGets.Load(), Hits: poolHits.Load(), Puts: poolFrees.Load()}
+	s := PoolStats{Shards: make([]PoolShardStats, poolShards)}
+	for h := range shardStats {
+		sc := &shardStats[h]
+		sh := PoolShardStats{
+			Gets:   sc.gets.Load(),
+			Hits:   sc.hits.Load(),
+			Puts:   sc.frees.Load(),
+			Steals: sc.steals.Load(),
+		}
+		s.Gets += sh.Gets
+		s.Hits += sh.Hits
+		s.Puts += sh.Puts
+		s.Steals += sh.Steals
+		s.Shards[h] = sh
+	}
 	for i := range arena {
 		bp := &arena[i]
-		bp.mu.Lock()
-		s.RetainedBytes += int64(len(bp.free)) * int64(8<<(i+minBucketBits))
-		bp.mu.Unlock()
+		bufBytes := int64(8 << (i + minBucketBits))
+		for h := range bp.shards {
+			l := &bp.shards[h]
+			l.mu.Lock()
+			held := int64(len(l.free)) * bufBytes
+			l.mu.Unlock()
+			s.Shards[h].RetainedBytes += held
+			s.RetainedBytes += held
+		}
+		bp.overflow.mu.Lock()
+		s.RetainedBytes += int64(len(bp.overflow.free)) * bufBytes
+		bp.overflow.mu.Unlock()
 	}
 	return s
 }

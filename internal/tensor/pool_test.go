@@ -29,6 +29,81 @@ func TestGetReturnsZeroedBuffers(t *testing.T) {
 	}
 }
 
+// TestPoolShardStats: the sharded arena must account every Get/Put against
+// exactly one shard, recycle across shards via the steal/overflow paths,
+// and keep the aggregate counters equal to the per-shard sums.
+func TestPoolShardStats(t *testing.T) {
+	before := ReadPoolStats()
+	if len(before.Shards) == 0 {
+		t.Fatal("ReadPoolStats returned no shard breakdown")
+	}
+	const rounds = 64
+	ms := make([]*Matrix, rounds)
+	for i := range ms {
+		ms[i] = Get(16, 16)
+	}
+	for _, m := range ms {
+		Put(m)
+	}
+	for i := 0; i < rounds; i++ {
+		Put(Get(16, 16)) // hot loop: recycles regardless of shard landing
+	}
+	after := ReadPoolStats()
+	if g := after.Gets - before.Gets; g != 2*rounds {
+		t.Fatalf("gets delta = %d, want %d", g, 2*rounds)
+	}
+	if p := after.Puts - before.Puts; p != 2*rounds {
+		t.Fatalf("puts delta = %d, want %d", p, 2*rounds)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("expected recycled buffers in a hot Get/Put loop")
+	}
+	var gets, hits, puts, steals int64
+	for _, sh := range after.Shards {
+		gets += sh.Gets
+		hits += sh.Hits
+		puts += sh.Puts
+		steals += sh.Steals
+	}
+	if gets != after.Gets || hits != after.Hits || puts != after.Puts || steals != after.Steals {
+		t.Fatalf("per-shard sums (%d/%d/%d/%d) disagree with totals (%d/%d/%d/%d)",
+			gets, hits, puts, steals, after.Gets, after.Hits, after.Puts, after.Steals)
+	}
+}
+
+// TestPoolShardedConcurrent hammers one bucket from many goroutines; run
+// with -race in CI. Every buffer must come back zeroed whichever shard or
+// steal path produced it.
+func TestPoolShardedConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m := Get(33, 3)
+				for j, v := range m.Data {
+					if v != 0 {
+						errs <- "dirty recycled buffer"
+						_ = j
+						break
+					}
+				}
+				for j := range m.Data {
+					m.Data[j] = 1
+				}
+				Put(m)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
 // TestPutForeignBufferIgnored: matrices whose capacity is not a bucket
 // size (FromSlice wrappers, odd-size New allocations) must be ignored
 // rather than corrupting the free lists.

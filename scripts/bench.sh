@@ -5,6 +5,7 @@
 # Usage:
 #   scripts/bench.sh [output.json]          # micro mode (default): tensor/gnn kernels
 #   scripts/bench.sh serve [output.json]    # serve mode: HTTP load benchmark
+#   scripts/bench.sh train [output.json]    # train mode: TBPTT training engine
 #
 # Micro mode runs the tensor/gnn micro-benchmarks with -benchmem and emits
 # a JSON array of {name, iterations, ns_per_op, bytes_per_op,
@@ -16,18 +17,39 @@
 # p50_ms, p99_ms, errors, snapshots, peak_rss_bytes} objects (default
 # BENCH_serve.json).
 #
+# Train mode drives `vrdag-bench -train`: the sequential TBPTT engine vs
+# the window-parallel engine at several worker counts, emitting {name,
+# engine, workers, epoch_ms, windows_per_sec, bytes_per_epoch,
+# allocs_per_epoch, speedup_vs_1_worker, final_loss} objects (default
+# BENCH_train.json). final_loss must be identical across worker counts —
+# the engine's determinism contract — so the artifact doubles as a check.
+#
 # Environment:
 #   BENCHTIME        go test -benchtime value (default 0.5s; CI uses 0.2s)
 #   SERVE_CLIENTS    serve mode: concurrent clients   (default 8)
 #   SERVE_REQUESTS   serve mode: requests/scenario    (default 64)
 #   SERVE_T          serve mode: snapshots/request    (default 32)
+#   TRAIN_SCALE      train mode: Email replica scale  (default 0.05)
+#   TRAIN_EPOCHS     train mode: measured epochs      (default 4)
+#   TRAIN_WORKERS    train mode: CSV worker counts    (default "1,0"; 0 = GOMAXPROCS)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=micro
-if [[ "${1:-}" == "serve" ]]; then
-  mode=serve
+if [[ "${1:-}" == "serve" || "${1:-}" == "train" ]]; then
+  mode="$1"
   shift
+fi
+
+if [[ "$mode" == "train" ]]; then
+  out="${1:-BENCH_train.json}"
+  go run ./cmd/vrdag-bench -train \
+    -train-scale "${TRAIN_SCALE:-0.05}" \
+    -train-epochs "${TRAIN_EPOCHS:-4}" \
+    -train-workers "${TRAIN_WORKERS:-1,0}" \
+    -train-out "$out"
+  echo "wrote $(grep -c '"name"' "$out") train-bench results to $out"
+  exit 0
 fi
 
 if [[ "$mode" == "serve" ]]; then
