@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vrdag/internal/core"
+	"vrdag/internal/datasets"
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/ingest"
+	"vrdag/internal/metrics"
+)
+
+// The -forecast mode benchmarks the ingest-and-forecast subsystem end to
+// end: how fast an observed edge stream folds into model state (parse +
+// window + EncodeSnapshot, reported as edges/sec), and the latency
+// distribution of conditioned generation from that state (p50/p99 over R
+// forecasts), with the process's peak RSS per phase. Its JSON output
+// (BENCH_forecast.json via scripts/bench.sh forecast) joins the tensor/
+// serve/train artifacts tracked commit over commit.
+
+type forecastBenchOptions struct {
+	scale    float64
+	requests int
+	t        int
+	epochs   int
+	repeats  int
+	seed     int64
+	out      string
+}
+
+type forecastBenchResult struct {
+	Name         string  `json:"name"`
+	Edges        int64   `json:"edges,omitempty"`
+	Steps        int     `json:"steps,omitempty"`
+	EdgesPerSec  float64 `json:"edges_per_sec,omitempty"`
+	Requests     int     `json:"requests,omitempty"`
+	T            int     `json:"t,omitempty"`
+	P50MS        float64 `json:"p50_ms,omitempty"`
+	P99MS        float64 `json:"p99_ms,omitempty"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+}
+
+func runForecastBench(o forecastBenchOptions) error {
+	if o.repeats < 1 {
+		o.repeats = 1
+	}
+	if o.requests < 1 {
+		o.requests = 1
+	}
+	g, _, err := datasets.Replica(datasets.Email, o.scale, o.seed)
+	if err != nil {
+		return err
+	}
+	holdK := max(2, g.T()/5)
+	head, _, err := metrics.SplitTail(g, holdK)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig(g.N, g.F)
+	cfg.Epochs = o.epochs
+	cfg.Seed = o.seed
+	m := core.New(cfg)
+	fmt.Fprintf(os.Stderr, "forecast-bench: training N=%d F=%d head=%d (%d params, %d epochs)\n",
+		g.N, g.F, head.T(), m.NumParams(), o.epochs)
+	if _, err := m.Fit(head); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+
+	// Render the head as the CSV edge stream the ingest path consumes, so
+	// the encode number covers parse + window fold + EncodeSnapshot.
+	var sb strings.Builder
+	for tt := 0; tt < head.T(); tt++ {
+		s := head.At(tt)
+		for u := 0; u < s.N; u++ {
+			row := ""
+			if g.F > 0 {
+				vals := s.X.Row(u)
+				parts := make([]string, len(vals))
+				for j, v := range vals {
+					parts[j] = fmt.Sprintf("%g", v)
+				}
+				row = "," + strings.Join(parts, ",")
+			}
+			for _, v := range s.Out[u] {
+				fmt.Fprintf(&sb, "n%d,n%d,%d%s\n", u, v, tt, row)
+			}
+		}
+	}
+	stream := sb.String()
+
+	var results []forecastBenchResult
+
+	// Phase 1: encode throughput. Repeat the full ingest→encode pass and
+	// report edges/sec over all repetitions.
+	resetPeakRSS()
+	var state *core.ForecastState
+	var totalEdges int64
+	encStart := time.Now()
+	for rep := 0; rep < o.repeats; rep++ {
+		if state != nil {
+			state.Release()
+		}
+		st, err := ingest.NewStream(ingest.Options{N: g.N, F: g.F, CarryAttrs: true, Pooled: true})
+		if err != nil {
+			return err
+		}
+		fresh := m.NewForecastState()
+		emit := func(snap *dyngraph.Snapshot) error {
+			err := m.EncodeSnapshot(fresh, snap)
+			snap.Recycle()
+			return err
+		}
+		if err := st.Fold(strings.NewReader(stream), emit); err != nil {
+			return fmt.Errorf("encode: %w", err)
+		}
+		if err := st.Flush(emit); err != nil {
+			return fmt.Errorf("encode flush: %w", err)
+		}
+		totalEdges += st.Edges()
+		state = fresh
+	}
+	encElapsed := time.Since(encStart)
+	results = append(results, forecastBenchResult{
+		Name:         "forecast/encode",
+		Edges:        totalEdges,
+		Steps:        state.Steps(),
+		EdgesPerSec:  float64(totalEdges) / encElapsed.Seconds(),
+		PeakRSSBytes: peakRSS(),
+	})
+	fmt.Fprintf(os.Stderr, "forecast-bench: %-18s %10.0f edges/s  (%d edges, %d steps)  peak RSS %.1f MB\n",
+		"forecast/encode", results[0].EdgesPerSec, totalEdges, state.Steps(), float64(results[0].PeakRSSBytes)/(1<<20))
+	defer state.Release()
+
+	// Phase 2: conditioned-generation latency. Stream forecasts (the
+	// serving path's shape) and discard snapshots as a consumer would.
+	resetPeakRSS()
+	latencies := make([]time.Duration, o.requests)
+	for i := 0; i < o.requests; i++ {
+		reqStart := time.Now()
+		err := m.ForecastStream(context.Background(), state, core.GenOptions{
+			T: o.t, Seed: o.seed + int64(i), Parallel: true,
+		}, func(*dyngraph.Snapshot) error { return nil })
+		if err != nil {
+			return fmt.Errorf("forecast %d: %w", i, err)
+		}
+		latencies[i] = time.Since(reqStart)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res := forecastBenchResult{
+		Name:         "forecast/forecast",
+		Requests:     o.requests,
+		T:            o.t,
+		P50MS:        float64(percentile(latencies, 0.50).Microseconds()) / 1000,
+		P99MS:        float64(percentile(latencies, 0.99).Microseconds()) / 1000,
+		PeakRSSBytes: peakRSS(),
+	}
+	results = append(results, res)
+	fmt.Fprintf(os.Stderr, "forecast-bench: %-18s p50 %8.2f ms  p99 %8.2f ms  (%d requests, T=%d)  peak RSS %.1f MB\n",
+		res.Name, res.P50MS, res.P99MS, o.requests, o.t, float64(res.PeakRSSBytes)/(1<<20))
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if o.out == "" || o.out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(o.out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "forecast-bench: wrote %d results to %s\n", len(results), o.out)
+	return nil
+}

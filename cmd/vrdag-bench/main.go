@@ -20,6 +20,12 @@
 // versus the window-parallel engine at several worker counts:
 //
 //	vrdag-bench -train -train-scale 0.05 -train-workers 1,2,0 -train-out BENCH_train.json
+//
+// -forecast switches to the ingest-and-forecast benchmark: edge-stream
+// encode throughput (edges/sec through parse → window → EncodeSnapshot)
+// and conditioned-generation latency (p50/p99 over repeated forecasts):
+//
+//	vrdag-bench -forecast -forecast-requests 32 -forecast-out BENCH_forecast.json
 package main
 
 import (
@@ -54,8 +60,32 @@ func main() {
 		trainWindow  = flag.Int("train-window", 2, "TBPTT window length (0 = full sequence)")
 		trainWorkers = flag.String("train-workers", "1,0", "CSV of parallel worker counts (0 = GOMAXPROCS)")
 		trainOut     = flag.String("train-out", "", "write train-bench JSON here (default stdout)")
+
+		forecast         = flag.Bool("forecast", false, "run the ingest-and-forecast benchmark instead of paper experiments")
+		forecastScale    = flag.Float64("forecast-scale", 0.05, "Email replica scale for the forecast benchmark")
+		forecastRequests = flag.Int("forecast-requests", 32, "forecast requests measured for latency percentiles")
+		forecastT        = flag.Int("forecast-t", 16, "forecast horizon per request")
+		forecastEpochs   = flag.Int("forecast-epochs", 3, "training epochs for the benchmark model")
+		forecastRepeats  = flag.Int("forecast-repeats", 4, "full ingest->encode passes for the throughput figure")
+		forecastOut      = flag.String("forecast-out", "", "write forecast-bench JSON here (default stdout)")
 	)
 	flag.Parse()
+
+	if *forecast {
+		err := runForecastBench(forecastBenchOptions{
+			scale:    *forecastScale,
+			requests: *forecastRequests,
+			t:        *forecastT,
+			epochs:   *forecastEpochs,
+			repeats:  *forecastRepeats,
+			seed:     *seed,
+			out:      *forecastOut,
+		})
+		if err != nil {
+			log.Fatalf("vrdag-bench: forecast: %v", err)
+		}
+		return
+	}
 
 	if *train {
 		err := runTrainBench(trainOptions{

@@ -11,8 +11,10 @@
 //	vrdag-serve -model email=email.ckpt -ref email=email.vg -addr :9090
 //
 // Endpoints: POST /v1/generate, POST /v1/generate/stream (NDJSON),
-// POST /v1/generate/batch, GET /v1/metrics, GET /v1/models,
-// GET /healthz. On SIGINT/SIGTERM the server stops admitting work,
+// POST /v1/generate/batch, POST /v1/ingest (observed edge streams →
+// named forecast sessions; GET lists, DELETE removes), POST /v1/forecast
+// and /v1/forecast/stream (conditioned generation), GET /v1/metrics,
+// GET /v1/models, GET /healthz. On SIGINT/SIGTERM the server stops admitting work,
 // signals in-flight streaming responses to finish the snapshot they are
 // on and append a truncation trailer, and drains everything within
 // -drain before exiting — connections are handed a well-formed end of

@@ -1,0 +1,88 @@
+// Forecasting: condition VRDAG on an observed dynamic-graph prefix and
+// generate its plausible future, scored against the held-out truth.
+//
+// The flow mirrors what the serving layer does behind POST /v1/ingest and
+// POST /v1/forecast: split an observed sequence into head and tail, train
+// on the head, fold the head into the model's recurrent state, forecast
+// the tail's horizon, and compare.
+//
+//	go run ./examples/forecasting
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"vrdag/internal/core"
+	"vrdag/internal/datasets"
+	"vrdag/internal/metrics"
+)
+
+func main() {
+	// 1. An "observed" dynamic attributed graph: a small Emails-DNC
+	//    replica (directed edges, 2 node attributes, 14 snapshots).
+	observed, cfg, err := datasets.Replica(datasets.Email, 0.05, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed %q: N=%d, F=%d, T=%d, M=%d temporal edges\n",
+		cfg.Name, observed.N, observed.F, observed.T(), observed.TotalTemporalEdges())
+
+	// 2. Hold out the last K snapshots as the future to predict; only the
+	//    head is ever shown to the model.
+	const K = 4
+	head, tail, err := metrics.SplitTail(observed, K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conditioning on %d steps, forecasting %d\n", head.T(), tail.T())
+
+	// 3. Train on the head.
+	mcfg := core.DefaultConfig(observed.N, observed.F)
+	mcfg.Epochs = 15
+	mcfg.Seed = 42
+	model := core.New(mcfg)
+	if _, err := model.Fit(head); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Encode the observed prefix: the posterior and recurrence updater
+	//    walk the head snapshots and leave per-node hidden states where
+	//    the history ends. Encoding is deterministic (posterior mean), so
+	//    all forecast variance comes from the generation seed.
+	state, err := model.Encode(context.Background(), head)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer state.Release()
+
+	// 5. Branch futures off the same history: each seed is an independent
+	//    plausible continuation. Score the first against the held-out tail.
+	forecast, err := model.Forecast(context.Background(), state, core.GenOptions{
+		T: K, Seed: 1, Parallel: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := metrics.CompareForecast(tail, forecast)
+	fmt.Println("forecast vs held-out tail (lower is better unless noted):")
+	fmt.Printf("  in-deg MMD %.4f   out-deg MMD %.4f   clustering MMD %.4f\n",
+		rep.Structure.InDegMMD, rep.Structure.OutDegMMD, rep.Structure.ClusMMD)
+	fmt.Printf("  edge-volume MRE %.4f   degree corr %.4f (higher is better)\n",
+		rep.EdgeVolumeMRE, rep.DegreeCorr)
+	if rep.HasAttrs {
+		fmt.Printf("  attribute JSD %.4f   attribute EMD %.4f\n", rep.AttrJSD, rep.AttrEMD)
+	}
+
+	// Compare against an unconditional sample: the same model without the
+	// observed history, scored on the same tail — conditioning should help
+	// the aligned, node-level signals.
+	uncond, err := model.GenerateOpts(core.GenOptions{T: K, Seed: 1, Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	urep := metrics.CompareForecast(tail, uncond)
+	fmt.Printf("unconditional baseline: edge-volume MRE %.4f, degree corr %.4f\n",
+		urep.EdgeVolumeMRE, urep.DegreeCorr)
+}

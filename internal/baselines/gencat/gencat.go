@@ -251,4 +251,3 @@ func (g *Gen) Generate(t int) (*dyngraph.Sequence, error) {
 	}
 	return out, nil
 }
-

@@ -2,10 +2,12 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"vrdag/internal/core"
 	"vrdag/internal/datasets"
+	"vrdag/internal/metrics"
 )
 
 // ExampleModel_Fit trains VRDAG on a small synthetic dynamic attributed
@@ -51,6 +53,55 @@ func ExampleModel_Generate() {
 	// snapshots: 8 nodes: 20
 	// valid: true
 	// has edges: true
+}
+
+// ExampleModel_Forecast conditions generation on an observed prefix: the
+// last snapshots of a replica are held out, the model trains on the head,
+// encodes it into a ForecastState, and forecasts the held-out horizon —
+// the ingest-and-forecast path in miniature.
+func ExampleModel_Forecast() {
+	g, _, err := datasets.Replica(datasets.Email, 0.02, 42)
+	if err != nil {
+		fmt.Println("replica failed:", err)
+		return
+	}
+	head, tail, err := metrics.SplitTail(g, 3)
+	if err != nil {
+		fmt.Println("split failed:", err)
+		return
+	}
+
+	cfg := core.DefaultConfig(g.N, g.F)
+	cfg.Epochs = 2
+	m := core.New(cfg)
+	if _, err := m.Fit(head); err != nil {
+		fmt.Println("fit failed:", err)
+		return
+	}
+
+	// Encode the observed head, then branch a future off it.
+	state, err := m.Encode(context.Background(), head)
+	if err != nil {
+		fmt.Println("encode failed:", err)
+		return
+	}
+	defer state.Release()
+	forecast, err := m.Forecast(context.Background(), state, core.GenOptions{T: tail.T(), Seed: 7})
+	if err != nil {
+		fmt.Println("forecast failed:", err)
+		return
+	}
+
+	rep := metrics.CompareForecast(tail, forecast)
+	fmt.Println("conditioned on steps:", state.Steps())
+	fmt.Println("forecast horizon:", rep.Horizon)
+	fmt.Println("valid:", forecast.Validate() == nil)
+	fmt.Println("scored attrs:", rep.HasAttrs)
+	// Output:
+	// conditioned on steps: 11
+	// forecast horizon: 3
+	// valid: true
+	// scored attrs: true
 }
 
 // ExampleLoad round-trips a trained model through a checkpoint: Save then

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/tensor"
+)
+
+// sameSequence fails the test unless the two sequences match edge for edge
+// and attribute bit for bit.
+func sameSequence(t *testing.T, got, want *dyngraph.Sequence, label string) {
+	t.Helper()
+	if got.T() != want.T() {
+		t.Fatalf("%s: %d snapshots vs %d", label, got.T(), want.T())
+	}
+	for tt := range want.Snapshots {
+		gs, ws := got.At(tt), want.At(tt)
+		if gs.NumEdges() != ws.NumEdges() {
+			t.Fatalf("%s: snapshot %d has %d edges, want %d", label, tt, gs.NumEdges(), ws.NumEdges())
+		}
+		for u := 0; u < ws.N; u++ {
+			for _, v := range ws.Out[u] {
+				if !gs.HasEdge(u, v) {
+					t.Fatalf("%s: snapshot %d missing edge %d->%d", label, tt, u, v)
+				}
+			}
+		}
+		if ws.X != nil {
+			for i := range ws.X.Data {
+				if gs.X.Data[i] != ws.X.Data[i] {
+					t.Fatalf("%s: snapshot %d attribute %d: %v vs %v", label, tt, i, gs.X.Data[i], ws.X.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForecastEmptyPrefixMatchesGenerate is the golden generalisation
+// test: a forecast from a zero-length prefix must be byte-identical to
+// unconditional generation with the same options — same edges, bit-equal
+// attributes — whether the state comes from NewForecastState or from
+// Encode over an empty sequence.
+func TestForecastEmptyPrefixMatchesGenerate(t *testing.T) {
+	m := streamTestModel(t)
+	const T = 6
+	opts := func() GenOptions {
+		return GenOptions{T: T, Source: rand.NewSource(41), DynamicNodes: true, Parallel: true}
+	}
+	want, err := m.GenerateOpts(opts())
+	if err != nil {
+		t.Fatalf("GenerateOpts: %v", err)
+	}
+
+	cold := m.NewForecastState()
+	defer cold.Release()
+	got, err := m.Forecast(context.Background(), cold, opts())
+	if err != nil {
+		t.Fatalf("Forecast(cold): %v", err)
+	}
+	sameSequence(t, got, want, "cold state")
+
+	empty, err := m.Encode(context.Background(), &dyngraph.Sequence{N: m.Cfg.N, F: m.Cfg.F})
+	if err != nil {
+		t.Fatalf("Encode(empty): %v", err)
+	}
+	defer empty.Release()
+	got2, err := m.Forecast(context.Background(), empty, opts())
+	if err != nil {
+		t.Fatalf("Forecast(encoded empty): %v", err)
+	}
+	sameSequence(t, got2, want, "encoded empty prefix")
+}
+
+// TestForecastStreamMatchesForecast extends the stream≡collect golden
+// equivalence to the conditioned path.
+func TestForecastStreamMatchesForecast(t *testing.T) {
+	m := streamTestModel(t)
+	prefix := toyGraph(20, 2, 4, 23)
+	st, err := m.Encode(context.Background(), prefix)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	defer st.Release()
+
+	opts := func() GenOptions { return GenOptions{T: 5, Source: rand.NewSource(77), Parallel: true} }
+	want, err := m.Forecast(context.Background(), st, opts())
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	got := &dyngraph.Sequence{N: m.Cfg.N, F: m.Cfg.F}
+	err = m.ForecastStream(context.Background(), st, opts(), func(s *dyngraph.Snapshot) error {
+		got.Snapshots = append(got.Snapshots, s.Clone())
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForecastStream: %v", err)
+	}
+	sameSequence(t, got, want, "stream vs collect")
+}
+
+// TestEncodeDeterministicAndReadOnly: encoding uses the posterior mean, so
+// the same prefix must produce the same state twice; and forecasting from
+// a state must not change it (repeat forecasts with one seed agree).
+func TestEncodeDeterministicAndReadOnly(t *testing.T) {
+	m := streamTestModel(t)
+	prefix := toyGraph(20, 2, 5, 31)
+
+	a, err := m.Encode(context.Background(), prefix)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	defer a.Release()
+	b, err := m.Encode(context.Background(), prefix)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	defer b.Release()
+	for i := range a.h.Data {
+		if a.h.Data[i] != b.h.Data[i] {
+			t.Fatalf("hidden state %d differs between identical encodes", i)
+		}
+	}
+	if a.Steps() != prefix.T() {
+		t.Fatalf("Steps = %d, want %d", a.Steps(), prefix.T())
+	}
+
+	opts := func() GenOptions { return GenOptions{T: 4, Source: rand.NewSource(5), Parallel: true} }
+	first, err := m.Forecast(context.Background(), a, opts())
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	second, err := m.Forecast(context.Background(), a, opts())
+	if err != nil {
+		t.Fatalf("Forecast (repeat): %v", err)
+	}
+	sameSequence(t, second, first, "repeat forecast")
+}
+
+// TestForecastConditioningMatters: a warm state must steer generation away
+// from the unconditional sample — otherwise Encode is dead weight.
+func TestForecastConditioningMatters(t *testing.T) {
+	m := streamTestModel(t)
+	prefix := toyGraph(20, 2, 6, 47)
+	st, err := m.Encode(context.Background(), prefix)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	defer st.Release()
+
+	opts := func() GenOptions { return GenOptions{T: 5, Source: rand.NewSource(9), Parallel: true} }
+	cond, err := m.Forecast(context.Background(), st, opts())
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	uncond, err := m.GenerateOpts(opts())
+	if err != nil {
+		t.Fatalf("GenerateOpts: %v", err)
+	}
+	same := true
+	for tt := 0; tt < cond.T() && same; tt++ {
+		a, b := cond.At(tt), uncond.At(tt)
+		if a.NumEdges() != b.NumEdges() {
+			same = false
+			break
+		}
+		for u := 0; u < a.N && same; u++ {
+			for _, v := range a.Out[u] {
+				if !b.HasEdge(u, v) {
+					same = false
+					break
+				}
+			}
+		}
+	}
+	if same {
+		t.Fatal("conditioned forecast identical to unconditional generation; prefix state had no effect")
+	}
+}
+
+// TestEncodeForecastLeakBalance is the completed-session leak test: an
+// ingest→forecast round trip — encode a prefix, stream a forecast, release
+// the state — must return every pooled buffer it took.
+func TestEncodeForecastLeakBalance(t *testing.T) {
+	m := streamTestModel(t)
+	prefix := toyGraph(20, 2, 5, 53)
+	// Warm-up so one-time allocations (CSR caches) don't skew the delta.
+	{
+		st, err := m.Encode(context.Background(), prefix)
+		if err != nil {
+			t.Fatalf("warm-up encode: %v", err)
+		}
+		if err := m.ForecastStream(context.Background(), st, GenOptions{T: 2, Seed: 3}, func(*dyngraph.Snapshot) error { return nil }); err != nil {
+			t.Fatalf("warm-up forecast: %v", err)
+		}
+		st.Release()
+	}
+
+	before := tensor.ReadPoolStats()
+	st, err := m.Encode(context.Background(), prefix)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	err = m.ForecastStream(context.Background(), st, GenOptions{T: 9, Seed: 11}, func(*dyngraph.Snapshot) error { return nil })
+	if err != nil {
+		t.Fatalf("ForecastStream: %v", err)
+	}
+	st.Release()
+	st.Release() // idempotent
+	after := tensor.ReadPoolStats()
+	gets, puts := after.Gets-before.Gets, after.Puts-before.Puts
+	if gets == 0 {
+		t.Fatal("expected pooled allocations during encode+forecast")
+	}
+	if gets != puts {
+		t.Fatalf("arena leak over a completed ingest->forecast session: %d gets vs %d puts", gets, puts)
+	}
+}
+
+// TestEncodeForecastCancelledLeakBalance is the cancelled-session leak
+// test: cancelling mid-encode and mid-forecast still balances the arena.
+func TestEncodeForecastCancelledLeakBalance(t *testing.T) {
+	m := streamTestModel(t)
+	prefix := toyGraph(20, 2, 5, 59)
+	{
+		st, err := m.Encode(context.Background(), prefix)
+		if err != nil {
+			t.Fatalf("warm-up encode: %v", err)
+		}
+		if err := m.ForecastStream(context.Background(), st, GenOptions{T: 2, Seed: 3}, func(*dyngraph.Snapshot) error { return nil }); err != nil {
+			t.Fatalf("warm-up forecast: %v", err)
+		}
+		st.Release()
+	}
+
+	// Cancelled mid-encode: Encode releases the partial state itself.
+	before := tensor.ReadPoolStats()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Encode(ctx, prefix); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Encode on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	after := tensor.ReadPoolStats()
+	if gets, puts := after.Gets-before.Gets, after.Puts-before.Puts; gets != puts {
+		t.Fatalf("cancelled encode leaked: %d gets vs %d puts", gets, puts)
+	}
+
+	// Cancelled mid-forecast: the stream unwinds, then the session state is
+	// released as the serving layer would on teardown.
+	before = tensor.ReadPoolStats()
+	st, err := m.Encode(context.Background(), prefix)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	yields := 0
+	err = m.ForecastStream(fctx, st, GenOptions{T: 50, Seed: 13}, func(*dyngraph.Snapshot) error {
+		yields++
+		if yields == 2 {
+			fcancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForecastStream: err = %v, want context.Canceled", err)
+	}
+	st.Release()
+	after = tensor.ReadPoolStats()
+	if gets, puts := after.Gets-before.Gets, after.Puts-before.Puts; gets != puts {
+		t.Fatalf("cancelled forecast session leaked: %d gets vs %d puts", gets, puts)
+	}
+}
+
+// TestEncodeSnapshotAlignment covers the node-set alignment contract:
+// narrower snapshots embed, wider ones error, attribute-dim mismatches
+// error, and structure-only snapshots encode into attributed models.
+func TestEncodeSnapshotAlignment(t *testing.T) {
+	m := streamTestModel(t) // N=20, F=2
+
+	st := m.NewForecastState()
+	defer st.Release()
+
+	narrow := dyngraph.NewSnapshot(8, 2)
+	narrow.AddEdge(0, 3)
+	narrow.AddEdge(3, 7)
+	narrow.X.Set(0, 0, 1.5)
+	if err := m.EncodeSnapshot(st, narrow); err != nil {
+		t.Fatalf("EncodeSnapshot(narrow): %v", err)
+	}
+	if st.Steps() != 1 {
+		t.Fatalf("Steps = %d after one snapshot", st.Steps())
+	}
+
+	bare := dyngraph.NewSnapshot(20, 0)
+	bare.AddEdge(1, 2)
+	if err := m.EncodeSnapshot(st, bare); err != nil {
+		t.Fatalf("EncodeSnapshot(structure-only): %v", err)
+	}
+
+	wide := dyngraph.NewSnapshot(21, 2)
+	if err := m.EncodeSnapshot(st, wide); err == nil {
+		t.Fatal("EncodeSnapshot must reject snapshots wider than the model's node universe")
+	}
+
+	badF := dyngraph.NewSnapshot(20, 3)
+	if err := m.EncodeSnapshot(st, badF); err == nil {
+		t.Fatal("EncodeSnapshot must reject mismatched attribute dims")
+	}
+
+	// A forecast from the partially observed state still runs.
+	if _, err := m.Forecast(context.Background(), st, GenOptions{T: 2, Seed: 1}); err != nil {
+		t.Fatalf("Forecast after aligned encodes: %v", err)
+	}
+}
+
+// TestForecastStateLifecycleErrors pins the misuse diagnostics: released
+// states refuse further work, nil states refuse forecasting.
+func TestForecastStateLifecycleErrors(t *testing.T) {
+	m := streamTestModel(t)
+	st := m.NewForecastState()
+	st.Release()
+	if err := m.EncodeSnapshot(st, dyngraph.NewSnapshot(20, 2)); err == nil {
+		t.Fatal("EncodeSnapshot on released state must error")
+	}
+	if _, err := m.Forecast(context.Background(), st, GenOptions{T: 2, Seed: 1}); err == nil {
+		t.Fatal("Forecast on released state must error")
+	}
+	if _, err := m.Forecast(context.Background(), nil, GenOptions{T: 2, Seed: 1}); err == nil {
+		t.Fatal("Forecast on nil state must error")
+	}
+	if err := m.ForecastStream(context.Background(), nil, GenOptions{T: 2, Seed: 1}, func(*dyngraph.Snapshot) error { return nil }); err == nil {
+		t.Fatal("ForecastStream on nil state must error")
+	}
+}
+
+// TestForecastStateClone: a clone forecasts identically to its source and
+// survives the source's release.
+func TestForecastStateClone(t *testing.T) {
+	m := streamTestModel(t)
+	prefix := toyGraph(20, 2, 4, 61)
+	st, err := m.Encode(context.Background(), prefix)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	clone := st.Clone()
+	defer clone.Release()
+
+	opts := func() GenOptions { return GenOptions{T: 3, Source: rand.NewSource(21), Parallel: true} }
+	want, err := m.Forecast(context.Background(), st, opts())
+	if err != nil {
+		t.Fatalf("Forecast(source): %v", err)
+	}
+	st.Release()
+	got, err := m.Forecast(context.Background(), clone, opts())
+	if err != nil {
+		t.Fatalf("Forecast(clone after source release): %v", err)
+	}
+	sameSequence(t, got, want, "clone")
+}

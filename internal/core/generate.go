@@ -58,7 +58,7 @@ func (m *Model) GenerateCtx(ctx context.Context, opts GenOptions) (*dyngraph.Seq
 	err := m.generate(ctx, opts, func(s *dyngraph.Snapshot) error {
 		g.Snapshots = append(g.Snapshots, s)
 		return nil
-	}, false)
+	}, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -80,18 +80,20 @@ func (m *Model) GenerateCtx(ctx context.Context, opts GenOptions) (*dyngraph.Seq
 // snapshots are identical, value for value, to the sequence GenerateOpts
 // returns for the same options.
 func (m *Model) GenerateStream(ctx context.Context, opts GenOptions, yield func(*dyngraph.Snapshot) error) error {
-	return m.generate(ctx, opts, yield, true)
+	return m.generate(ctx, opts, yield, true, nil)
 }
 
 // generate drives the stepper in streaming (recycle) or collecting mode.
-func (m *Model) generate(ctx context.Context, opts GenOptions, yield func(*dyngraph.Snapshot) error, recycle bool) error {
+// init, when non-nil, warm-starts the stepper from an encoded observation
+// prefix (the forecasting path); nil reproduces unconditional generation.
+func (m *Model) generate(ctx context.Context, opts GenOptions, yield func(*dyngraph.Snapshot) error, recycle bool, init *ForecastState) error {
 	if opts.T <= 0 {
 		return fmt.Errorf("core: GenOptions.T must be positive, got %d", opts.T)
 	}
 	if opts.Tdel == 0 {
 		opts.Tdel = 3
 	}
-	st := m.newGenState(opts, recycle)
+	st := m.newGenState(opts, recycle, init)
 	defer st.release()
 	for t := 0; t < opts.T; t++ {
 		if err := ctx.Err(); err != nil {
@@ -120,6 +122,14 @@ type genState struct {
 	prevX    *tensor.Matrix
 	prev     *dyngraph.Snapshot
 
+	// timeOff shifts the model clock when generation continues an encoded
+	// observation prefix: snapshot t of the run is timestep timeOff+t of
+	// the combined sequence, which keeps the Time2Vec embedding, the
+	// per-step edge-count targets, and the activation statistics aligned
+	// with where the observed history left off. Zero for unconditional
+	// generation.
+	timeOff int
+
 	// Streaming mode: a snapshot handed to the consumer is taken back once
 	// it leaves the one-step history window and reused for a later
 	// timestep, holding resident snapshot memory at O(1) per request.
@@ -141,7 +151,7 @@ type nodeScores struct {
 	alpha []float64      // K mixture weights
 }
 
-func (m *Model) newGenState(opts GenOptions, recycle bool) *genState {
+func (m *Model) newGenState(opts GenOptions, recycle bool, init *ForecastState) *genState {
 	n := m.Cfg.N
 	src := opts.Source
 	if src == nil {
@@ -160,6 +170,22 @@ func (m *Model) newGenState(opts GenOptions, recycle bool) *genState {
 	}
 	for i := range st.active {
 		st.active[i] = true
+	}
+	if init != nil {
+		// Warm-start from the encoded prefix. Every injected buffer is
+		// copied or cloned: the stepper mutates and recycles its state, and
+		// the ForecastState must stay reusable for further Forecast calls
+		// (and further EncodeSnapshot absorption) on the same session.
+		copy(st.h.Data, init.h.Data)
+		copy(st.degree, init.degree)
+		if init.prev != nil {
+			st.prev = init.prev.Clone()
+		}
+		if init.attrState != nil {
+			st.prevX = tensor.Get(init.attrState.Rows, init.attrState.Cols)
+			copy(st.prevX.Data, init.attrState.Data)
+		}
+		st.timeOff = init.steps
 	}
 	return st
 }
@@ -195,9 +221,12 @@ func (st *genState) takeSnapshot() *dyngraph.Snapshot {
 	return dyngraph.NewSnapshot(st.n, 0)
 }
 
-// step decodes snapshot t and advances the recurrent state.
+// step decodes snapshot t and advances the recurrent state. t counts from
+// zero within this run; the model clock (Time2Vec, per-step calibration
+// targets) runs at timeOff+t so forecasts continue the observed timeline.
 func (st *genState) step(t int) *dyngraph.Snapshot {
 	m, n, rng := st.m, st.n, st.rng
+	clock := st.timeOff + t
 
 	// Line 3: sample temporal latent variables from the prior.
 	mu, logSig := m.priorValue(st.h)
@@ -208,7 +237,7 @@ func (st *genState) step(t int) *dyngraph.Snapshot {
 
 	// Line 4: decode the adjacency via the MixBernoulli sampler.
 	snap := st.takeSnapshot()
-	st.decodeStructure(snap, s, t)
+	st.decodeStructure(snap, s, clock)
 
 	// Line 5: decode attributes conditioned on the new topology. The
 	// decoded matrix is the likelihood mean; sampling adds the
@@ -230,7 +259,7 @@ func (st *genState) step(t int) *dyngraph.Snapshot {
 
 	// Line 7: update hidden states with the recurrence updater.
 	eps := m.enc.EncodeValue(snap)
-	gin := m.gruInputValue(eps, z, t, n)
+	gin := m.gruInputValue(eps, z, clock, n)
 	hNext := m.gru.Forward(gin, st.h)
 	tensor.Put(gin)
 	tensor.Put(eps)
@@ -252,7 +281,7 @@ func (st *genState) step(t int) *dyngraph.Snapshot {
 		}
 	}
 	if st.opts.DynamicNodes {
-		m.updateActiveSet(st.active, st.isolated, st.h, t, st.opts.Tdel, rng)
+		m.updateActiveSet(st.active, st.isolated, st.h, clock, st.opts.Tdel, rng)
 	}
 
 	// Rotate the one-step history window. The snapshot leaving it was

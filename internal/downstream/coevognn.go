@@ -262,4 +262,3 @@ func RunCaseStudy(orig *dyngraph.Sequence, synthetic *dyngraph.Sequence, cfg Con
 	augmented, err = mAug.Evaluate(orig)
 	return
 }
-

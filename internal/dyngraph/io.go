@@ -2,6 +2,7 @@ package dyngraph
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"strconv"
@@ -17,6 +18,42 @@ import (
 //
 // Edge and attribute lines may appear in any order. Attribute lines are
 // optional; omitted rows stay zero.
+
+// DecompressAuto wraps r so gzip-compressed input is transparently
+// decompressed: the stream is sniffed for the two-byte gzip magic and
+// passed through untouched when it is plain text. It is the single
+// compression path shared by the sequence loader and the ingest
+// edge-stream reader, so every text format the repository reads accepts
+// a .gz variant for free.
+func DecompressAuto(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Too short to be gzip (or unreadable); let the downstream parser
+		// produce its own diagnostic on the raw bytes.
+		return br, nil
+	}
+	if magic[0] != 0x1f || magic[1] != 0x8b {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("dyngraph: bad gzip stream: %w", err)
+	}
+	return zr, nil
+}
+
+// SaveGzip writes the sequence in the vrdag-graph text format,
+// gzip-compressed. Load reads the result back directly thanks to
+// DecompressAuto sniffing.
+func SaveGzip(w io.Writer, g *Sequence) error {
+	zw := gzip.NewWriter(w)
+	if err := Save(zw, g); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
 
 // Save writes the sequence in the vrdag-graph text format.
 func Save(w io.Writer, g *Sequence) error {
@@ -50,9 +87,14 @@ func Save(w io.Writer, g *Sequence) error {
 	return bw.Flush()
 }
 
-// Load parses a sequence from the vrdag-graph text format.
+// Load parses a sequence from the vrdag-graph text format, plain or
+// gzip-compressed (sniffed via DecompressAuto).
 func Load(r io.Reader) (*Sequence, error) {
-	sc := bufio.NewScanner(r)
+	rr, err := DecompressAuto(r)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(rr)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	if !sc.Scan() {
 		return nil, fmt.Errorf("dyngraph: empty input")

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+)
+
+func forecastTestSeq(n, f, tt int, seed int64) *dyngraph.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	g := dyngraph.NewSequence(n, f, tt)
+	for t := 0; t < tt; t++ {
+		s := g.At(t)
+		for e := 0; e < n*2; e++ {
+			s.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		for i := 0; i < n && f > 0; i++ {
+			for j := 0; j < f; j++ {
+				s.X.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return g
+}
+
+func TestSplitTail(t *testing.T) {
+	g := forecastTestSeq(10, 1, 8, 1)
+	head, tail, err := SplitTail(g, 3)
+	if err != nil {
+		t.Fatalf("SplitTail: %v", err)
+	}
+	if head.T() != 5 || tail.T() != 3 {
+		t.Fatalf("split %d/%d, want 5/3", head.T(), tail.T())
+	}
+	if head.N != g.N || tail.F != g.F {
+		t.Fatal("split lost shape metadata")
+	}
+	// Shallow: tail's first snapshot is g's sixth.
+	if tail.At(0) != g.At(5) {
+		t.Fatal("tail does not share snapshots with the source")
+	}
+	for _, bad := range []int{0, -1, 8, 9} {
+		if _, _, err := SplitTail(g, bad); err == nil {
+			t.Fatalf("SplitTail(%d) must error", bad)
+		}
+	}
+}
+
+// TestCompareForecastSelf: a forecast identical to the tail scores a
+// perfect report — zero discrepancies, unit degree correlation.
+func TestCompareForecastSelf(t *testing.T) {
+	g := forecastTestSeq(16, 2, 6, 7)
+	_, tail, err := SplitTail(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CompareForecast(tail, tail)
+	if rep.Horizon != 3 {
+		t.Fatalf("horizon = %d, want 3", rep.Horizon)
+	}
+	if rep.EdgeVolumeMRE != 0 {
+		t.Fatalf("self EdgeVolumeMRE = %v, want 0", rep.EdgeVolumeMRE)
+	}
+	if math.Abs(rep.DegreeCorr-1) > 1e-12 {
+		t.Fatalf("self DegreeCorr = %v, want 1", rep.DegreeCorr)
+	}
+	if rep.Structure.InDegMMD != 0 || rep.Structure.Wedge != 0 {
+		t.Fatalf("self structure discrepancies non-zero: %+v", rep.Structure)
+	}
+	if !rep.HasAttrs || rep.AttrEMD != 0 {
+		t.Fatalf("self attr scores: %+v", rep)
+	}
+}
+
+// TestCompareForecastDiscriminates: a shuffled forecast must score
+// strictly worse than the ground truth against itself, and an
+// activity-doubled one must show edge-volume error.
+func TestCompareForecastDiscriminates(t *testing.T) {
+	g := forecastTestSeq(16, 1, 6, 11)
+	_, tail, err := SplitTail(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := forecastTestSeq(16, 1, 6, 999) // unrelated dynamics
+	_, fake, err := SplitTail(other, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CompareForecast(tail, fake)
+	if rep.DegreeCorr > 0.9 {
+		t.Fatalf("unrelated forecast has DegreeCorr %v", rep.DegreeCorr)
+	}
+
+	dense := forecastTestSeq(16, 1, 6, 11)
+	_, denseTail, _ := SplitTail(dense, 3)
+	for _, s := range denseTail.Snapshots {
+		for e := 0; e < 64; e++ {
+			s.AddEdge(e%16, (e*7+3)%16)
+		}
+	}
+	rep = CompareForecast(tail, denseTail)
+	if rep.EdgeVolumeMRE <= 0 {
+		t.Fatalf("denser forecast shows no edge-volume error: %v", rep.EdgeVolumeMRE)
+	}
+}
+
+// TestCompareForecastStructureOnly: unattributed sequences score with
+// HasAttrs false and no NaNs anywhere.
+func TestCompareForecastStructureOnly(t *testing.T) {
+	g := forecastTestSeq(12, 0, 5, 3)
+	_, tail, err := SplitTail(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CompareForecast(tail, tail)
+	if rep.HasAttrs {
+		t.Fatal("structure-only report claims attributes")
+	}
+	for name, v := range map[string]float64{
+		"EdgeVolumeMRE": rep.EdgeVolumeMRE,
+		"DegreeCorr":    rep.DegreeCorr,
+		"InDegMMD":      rep.Structure.InDegMMD,
+		"LCC":           rep.Structure.LCC,
+	} {
+		if math.IsNaN(v) {
+			t.Fatalf("%s is NaN", name)
+		}
+	}
+}

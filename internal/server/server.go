@@ -3,7 +3,10 @@
 // POST /v1/generate/stream emits snapshots as NDJSON lines the moment
 // they are decoded (O(1) resident snapshots per request),
 // POST /v1/generate/batch fans R independent seeds across the worker
-// pool, GET /v1/metrics scores a fresh sample against the model's
+// pool, POST /v1/ingest folds an observed temporal edge stream into a
+// named forecast session, POST /v1/forecast and /v1/forecast/stream
+// generate futures conditioned on a session's observed history,
+// GET /v1/metrics scores a fresh sample against the model's
 // reference sequence and reports runtime/endpoint stats, and
 // GET /v1/models and GET /healthz report registry and liveness state.
 //
@@ -54,6 +57,18 @@ type Config struct {
 	// before it is shed with 429 (default 2s).
 	AdmitWait time.Duration
 
+	// SessionTTL evicts forecast sessions idle longer than this (default
+	// 15m); every ingest or forecast touch resets the clock.
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrent forecast sessions (default 64). At
+	// capacity the longest-idle session is evicted for a new one only if
+	// it has expired; otherwise creation is rejected with 429.
+	MaxSessions int
+	// MaxIngestBytes bounds one /v1/ingest request body (default 64 MiB,
+	// counted after transport decompression is NOT applied — the limit is
+	// on the wire bytes, gzip included).
+	MaxIngestBytes int64
+
 	Logger *log.Logger // request log destination (default stderr)
 }
 
@@ -75,6 +90,9 @@ type Server struct {
 
 	mu     sync.RWMutex
 	models map[string]*modelEntry
+
+	sessMu   sync.Mutex
+	sessions map[string]*forecastSession
 
 	seedMu sync.Mutex
 	seeder *rand.Rand
@@ -110,24 +128,37 @@ func New(cfg Config) *Server {
 	if cfg.AdmitWait <= 0 {
 		cfg.AdmitWait = 2 * time.Second
 	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 15 * time.Minute
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.MaxIngestBytes <= 0 {
+		cfg.MaxIngestBytes = 64 << 20
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(log.Writer(), "vrdag-serve ", log.LstdFlags)
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Workers, cfg.Queue),
-		logger:  cfg.Logger,
-		admitCh: make(chan struct{}, cfg.AdmitDepth),
-		drain:   make(chan struct{}),
-		started: time.Now(),
-		models:  make(map[string]*modelEntry),
-		seeder:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:      cfg,
+		pool:     NewPool(cfg.Workers, cfg.Queue),
+		logger:   cfg.Logger,
+		admitCh:  make(chan struct{}, cfg.AdmitDepth),
+		drain:    make(chan struct{}),
+		started:  time.Now(),
+		models:   make(map[string]*modelEntry),
+		sessions: make(map[string]*forecastSession),
+		seeder:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.mux = http.NewServeMux()
 	routes := map[string]http.HandlerFunc{
 		"/v1/generate":        s.handleGenerate,
 		"/v1/generate/stream": s.handleGenerateStream,
 		"/v1/generate/batch":  s.handleGenerateBatch,
+		"/v1/ingest":          s.handleIngest,
+		"/v1/forecast":        s.handleForecast,
+		"/v1/forecast/stream": s.handleForecastStream,
 		"/v1/metrics":         s.handleMetrics,
 		"/v1/models":          s.handleModels,
 		"/healthz":            s.handleHealthz,
@@ -184,11 +215,12 @@ func (s *Server) draining() bool {
 	}
 }
 
-// Close drains the worker pool. In-flight requests finish; new ones are
-// rejected.
+// Close drains the worker pool and releases every forecast session's
+// pooled state. In-flight requests finish; new ones are rejected.
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.pool.Close()
+	s.releaseAllSessions()
 }
 
 // ServeHTTP implements http.Handler with request logging and per-endpoint
@@ -464,14 +496,30 @@ func (s *Server) handleGenerateStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// streamGenerate runs on a pool worker: it emits the NDJSON header, one
-// line per decoded snapshot (flushed immediately so slow consumers apply
-// backpressure instead of growing a server-side buffer), and a trailer.
-// Snapshot buffers are recycled by the engine after each line is encoded,
-// so the request holds O(1) snapshots resident however large T is.
+// streamGenerate runs on a pool worker: the unconditional generation
+// stream through the shared NDJSON emitter.
 func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, entry *modelEntry, seed int64, req GenerateRequest) {
-	start := time.Now()
 	m := entry.model
+	header := StreamHeader{Model: entry.name, Seed: seed, N: m.Cfg.N, F: m.Cfg.F, T: req.T}
+	s.streamSnapshots(w, r, entry, header, func(yield func(*dyngraph.Snapshot) error) error {
+		return m.GenerateStream(r.Context(), core.GenOptions{
+			T:            req.T,
+			Source:       rand.NewSource(seed),
+			DynamicNodes: req.DynamicNodes,
+			Parallel:     true,
+		}, yield)
+	})
+}
+
+// streamSnapshots is the NDJSON streaming emitter shared by the
+// unconditional (/v1/generate/stream) and conditioned (/v1/forecast/stream)
+// endpoints: it writes the header, one line per snapshot the run yields
+// (flushed immediately so slow consumers apply backpressure instead of
+// growing a server-side buffer), and a trailer. Snapshot buffers are
+// recycled by the engine after each line is encoded, so a stream holds
+// O(1) snapshots resident however long the horizon is.
+func (s *Server) streamSnapshots(w http.ResponseWriter, r *http.Request, entry *modelEntry, header StreamHeader, run func(yield func(*dyngraph.Snapshot) error) error) {
+	start := time.Now()
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
 		if flusher != nil {
@@ -482,19 +530,14 @@ func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, entry *m
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	if err := enc.Encode(StreamHeader{Model: entry.name, Seed: seed, N: m.Cfg.N, F: m.Cfg.F, T: req.T}); err != nil {
+	if err := enc.Encode(header); err != nil {
 		return
 	}
 	flush()
 
 	emitted := 0
 	var line StreamSnapshot
-	err := m.GenerateStream(r.Context(), core.GenOptions{
-		T:            req.T,
-		Source:       rand.NewSource(seed),
-		DynamicNodes: req.DynamicNodes,
-		Parallel:     true,
-	}, func(snap *dyngraph.Snapshot) error {
+	err := run(func(snap *dyngraph.Snapshot) error {
 		select {
 		case <-s.drain:
 			return errDraining

@@ -1,0 +1,547 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"vrdag/internal/core"
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/ingest"
+)
+
+// Forecast sessions: POST /v1/ingest folds an uploaded temporal edge
+// stream (NDJSON or CSV, plain or gzip) into a named session's recurrent
+// model state — the stream is parsed window by window and each sealed
+// snapshot is absorbed with Model.EncodeSnapshot, then recycled, so a
+// session holds O(N) state however many edges were ingested, never the
+// prefix itself. POST /v1/forecast and /v1/forecast/stream then generate
+// plausible futures conditioned on everything the session has observed.
+//
+// A session may be fed incrementally: later /v1/ingest calls append to the
+// same stream cursor (node mapping, window grid, and attribute carry all
+// survive), so a live graph can be followed over hours and forecast at any
+// point. Sessions are evicted after SessionTTL of disuse or when
+// MaxSessions would be exceeded (idle-longest first); eviction and
+// deletion release the session's pooled state back to the tensor arena.
+//
+// Concurrency: ingest holds the session's write lock, forecasts hold read
+// locks. Forecasting never mutates the state (the engine copies it per
+// request), so any number of forecasts run concurrently against a quiet
+// session; an ingest serialises against them.
+
+type forecastSession struct {
+	name  string
+	entry *modelEntry
+
+	mu     sync.RWMutex // guards stream+state use and release
+	stream *ingest.Stream
+	state  *core.ForecastState
+	closed bool
+
+	created time.Time
+
+	useMu    sync.Mutex
+	lastUsed time.Time
+}
+
+func (fs *forecastSession) touch(now time.Time) {
+	fs.useMu.Lock()
+	fs.lastUsed = now
+	fs.useMu.Unlock()
+}
+
+func (fs *forecastSession) used() time.Time {
+	fs.useMu.Lock()
+	defer fs.useMu.Unlock()
+	return fs.lastUsed
+}
+
+// release frees the session's pooled buffers: the encoded model state and
+// any half-built (flush=false) ingest window still holding a pooled
+// attribute matrix. Callers must not hold fs.mu.
+func (fs *forecastSession) release() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.closed = true
+	if fs.state != nil {
+		fs.state.Release()
+		fs.state = nil
+	}
+	if fs.stream != nil {
+		fs.stream.DiscardPending()
+		fs.stream = nil
+	}
+}
+
+// sweepSessions evicts sessions idle past the TTL. It must be called
+// without sessMu held; release happens outside the store lock so a sweep
+// never stalls unrelated requests behind a busy session's lock.
+func (s *Server) sweepSessions(now time.Time) {
+	var victims []*forecastSession
+	s.sessMu.Lock()
+	for name, fs := range s.sessions {
+		if now.Sub(fs.used()) > s.cfg.SessionTTL {
+			delete(s.sessions, name)
+			victims = append(victims, fs)
+		}
+	}
+	s.sessMu.Unlock()
+	for _, fs := range victims {
+		fs.release()
+	}
+}
+
+// lookupSession resolves a live session by name, refreshing its TTL.
+func (s *Server) lookupSession(name string) (*forecastSession, error) {
+	if name == "" {
+		return nil, fmt.Errorf("session name required")
+	}
+	s.sweepSessions(time.Now())
+	s.sessMu.Lock()
+	fs, ok := s.sessions[name]
+	s.sessMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown session %q (expired or never created)", name)
+	}
+	fs.touch(time.Now())
+	return fs, nil
+}
+
+// releaseAllSessions drops every session; used by Close.
+func (s *Server) releaseAllSessions() {
+	s.sessMu.Lock()
+	all := make([]*forecastSession, 0, len(s.sessions))
+	for name, fs := range s.sessions {
+		delete(s.sessions, name)
+		all = append(all, fs)
+	}
+	s.sessMu.Unlock()
+	for _, fs := range all {
+		fs.release()
+	}
+}
+
+func validSessionName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// handleIngest routes the session resource: POST feeds a session (creating
+// it on first use), GET lists sessions, DELETE removes one.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleIngestPost(w, r)
+	case http.MethodGet:
+		s.handleIngestList(w)
+	case http.MethodDelete:
+		s.handleIngestDelete(w, r)
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, "POST, GET or DELETE required")
+	}
+}
+
+func (s *Server) handleIngestList(w http.ResponseWriter) {
+	s.sweepSessions(time.Now())
+	now := time.Now()
+	// Snapshot the session set under the store lock, then read per-session
+	// stats outside it: a session mid-ingest holds its own lock for the
+	// whole fold, and waiting on it under sessMu would stall every session
+	// endpoint behind one slow upload.
+	s.sessMu.Lock()
+	live := make([]*forecastSession, 0, len(s.sessions))
+	for _, fs := range s.sessions {
+		live = append(live, fs)
+	}
+	s.sessMu.Unlock()
+	infos := make([]SessionInfo, 0, len(live))
+	for _, fs := range live {
+		fs.mu.RLock()
+		info := SessionInfo{
+			Session: fs.name,
+			Model:   fs.entry.name,
+			AgeS:    now.Sub(fs.created).Seconds(),
+			IdleS:   now.Sub(fs.used()).Seconds(),
+			TTLS:    s.cfg.SessionTTL.Seconds(),
+		}
+		if fs.state != nil {
+			info.Steps = fs.state.Steps()
+		}
+		if fs.stream != nil {
+			info.Edges = fs.stream.Edges()
+			info.Records = fs.stream.Records()
+			info.Dropped = fs.stream.Dropped()
+			info.Nodes = fs.stream.NodesSeen()
+		}
+		fs.mu.RUnlock()
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Session < infos[j].Session })
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleIngestDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("session")
+	s.sessMu.Lock()
+	fs, ok := s.sessions[name]
+	if ok {
+		delete(s.sessions, name)
+	}
+	s.sessMu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown session %q", name)
+		return
+	}
+	fs.release()
+	s.writeJSON(w, http.StatusOK, SessionDeleteResponse{Session: name, Deleted: true})
+}
+
+// ingestQuery carries the query-string options of POST /v1/ingest. Stream
+// options (window, drop_unknown, carry) only apply when the request
+// creates the session; on later appends the session's existing cursor
+// wins. flush is per request: the default true seals the request's final
+// window so its edges condition forecasts immediately — which closes that
+// window for good, so later appends must carry strictly later timestamps.
+// Clients splitting one logical stream mid-window pass flush=false on all
+// but the last chunk.
+type ingestQuery struct {
+	session     string
+	model       string
+	window      float64
+	dropUnknown bool
+	carry       bool
+	flush       bool
+}
+
+func (s *Server) parseIngestQuery(w http.ResponseWriter, r *http.Request) (ingestQuery, bool) {
+	q := r.URL.Query()
+	iq := ingestQuery{
+		session: q.Get("session"),
+		model:   q.Get("model"),
+		window:  1,
+		carry:   true,
+		flush:   true,
+	}
+	if !validSessionName(iq.session) {
+		s.writeError(w, http.StatusBadRequest,
+			"session must be 1-64 chars of [a-zA-Z0-9._-], got %q", iq.session)
+		return iq, false
+	}
+	if v := q.Get("window"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed <= 0 {
+			s.writeError(w, http.StatusBadRequest, "window must be a positive number, got %q", v)
+			return iq, false
+		}
+		iq.window = parsed
+	}
+	boolParam := func(name string, def bool) (bool, bool) {
+		v := q.Get(name)
+		if v == "" {
+			return def, true
+		}
+		parsed, err := strconv.ParseBool(v)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%s must be a boolean, got %q", name, v)
+			return def, false
+		}
+		return parsed, true
+	}
+	var ok bool
+	if iq.dropUnknown, ok = boolParam("drop_unknown", false); !ok {
+		return iq, false
+	}
+	if iq.carry, ok = boolParam("carry", true); !ok {
+		return iq, false
+	}
+	if iq.flush, ok = boolParam("flush", true); !ok {
+		return iq, false
+	}
+	return iq, true
+}
+
+func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
+	iq, ok := s.parseIngestQuery(w, r)
+	if !ok {
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	// Spool the size-bounded body under the admission slot but before the
+	// pool: a slow network upload must not occupy a GOMAXPROCS-sized CPU
+	// worker while blocked on socket reads, yet concurrent spools (up to
+	// MaxIngestBytes each) stay bounded by AdmitDepth rather than by
+	// however many sockets the listener accepts.
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)); err != nil {
+		if r.Context().Err() != nil {
+			return // client gone mid-upload
+		}
+		s.writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+
+	fs, created, err := s.getOrCreateSession(iq)
+	if err != nil {
+		s.writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	if iq.model != "" && fs.entry.name != iq.model {
+		s.writeError(w, http.StatusConflict,
+			"session %q belongs to model %q, not %q", fs.name, fs.entry.name, iq.model)
+		return
+	}
+
+	start := time.Now()
+	var resp IngestResponse
+	var genErr error
+	ok = s.runPooled(w, r, func() {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		if fs.closed {
+			genErr = fmt.Errorf("session %q was evicted mid-request", fs.name)
+			return
+		}
+		absorbed := 0
+		emit := func(snap *dyngraph.Snapshot) error {
+			if err := r.Context().Err(); err != nil {
+				return err
+			}
+			err := fs.entry.model.EncodeSnapshot(fs.state, snap)
+			snap.Recycle()
+			if err == nil {
+				absorbed++
+			}
+			return err
+		}
+		if genErr = fs.stream.Fold(&body, emit); genErr != nil {
+			return
+		}
+		if iq.flush {
+			if genErr = fs.stream.Flush(emit); genErr != nil {
+				return
+			}
+		}
+		// Snapshot the counters while the lock still guarantees the
+		// session is live: a concurrent DELETE or TTL sweep may release
+		// the state the moment this section ends.
+		resp = IngestResponse{
+			Session:  fs.name,
+			Model:    fs.entry.name,
+			Created:  created,
+			Absorbed: absorbed,
+			Steps:    fs.state.Steps(),
+			Edges:    fs.stream.Edges(),
+			Records:  fs.stream.Records(),
+			Dropped:  fs.stream.Dropped(),
+			Nodes:    fs.stream.NodesSeen(),
+			Pending:  fs.stream.PendingWindow(),
+		}
+	})
+	if !ok {
+		return
+	}
+	if genErr != nil {
+		if r.Context().Err() != nil {
+			return // client gone mid-request
+		}
+		s.writeError(w, http.StatusBadRequest, "ingest failed: %v", genErr)
+		return
+	}
+	now := time.Now()
+	fs.touch(now)
+	resp.ElapsedMS = float64(now.Sub(start).Microseconds()) / 1000
+	resp.ExpiresAt = now.Add(s.cfg.SessionTTL).UTC().Format(time.RFC3339)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// getOrCreateSession finds or creates the named session, enforcing the
+// session capacity (expired sessions are swept first; live ones are never
+// evicted for a newcomer).
+func (s *Server) getOrCreateSession(iq ingestQuery) (*forecastSession, bool, error) {
+	s.sweepSessions(time.Now())
+	s.sessMu.Lock()
+	if fs, ok := s.sessions[iq.session]; ok {
+		s.sessMu.Unlock()
+		fs.touch(time.Now())
+		return fs, false, nil
+	}
+	s.sessMu.Unlock()
+
+	entry, err := s.lookup(iq.model)
+	if err != nil {
+		return nil, false, err
+	}
+	m := entry.model
+	stream, err := ingest.NewStream(ingest.Options{
+		N:           m.Cfg.N,
+		F:           m.Cfg.F,
+		Window:      iq.window,
+		DropUnknown: iq.dropUnknown,
+		CarryAttrs:  iq.carry,
+		Pooled:      true,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	now := time.Now()
+	fs := &forecastSession{
+		name:    iq.session,
+		entry:   entry,
+		stream:  stream,
+		state:   m.NewForecastState(),
+		created: now,
+	}
+	fs.touch(now)
+
+	s.sessMu.Lock()
+	if existing, ok := s.sessions[iq.session]; ok {
+		// Lost a creation race; use the winner and drop ours.
+		s.sessMu.Unlock()
+		fs.release()
+		existing.touch(time.Now())
+		return existing, false, nil
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sessMu.Unlock()
+		fs.release()
+		return nil, false, fmt.Errorf("session capacity reached (%d); delete a session or retry later", s.cfg.MaxSessions)
+	}
+	s.sessions[iq.session] = fs
+	s.sessMu.Unlock()
+	return fs, true, nil
+}
+
+// decodeForecastRequest parses the shared body of the unary and streaming
+// forecast endpoints and resolves the session and seed.
+func (s *Server) decodeForecastRequest(w http.ResponseWriter, r *http.Request) (ForecastRequest, *forecastSession, int64, bool) {
+	var req ForecastRequest
+	if !s.decodeBody(w, r, &req) || !s.checkHorizon(w, req.T) {
+		return req, nil, 0, false
+	}
+	fs, err := s.lookupSession(req.Session)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return req, nil, 0, false
+	}
+	seed := s.drawSeed()
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	return req, fs, seed, true
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	req, fs, seed, ok := s.decodeForecastRequest(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var (
+		seq    *dyngraph.Sequence
+		steps  int
+		genErr error
+		start  = time.Now()
+	)
+	ok = s.runPooled(w, r, func() {
+		fs.mu.RLock()
+		defer fs.mu.RUnlock()
+		if fs.closed {
+			genErr = fmt.Errorf("session %q was evicted", fs.name)
+			return
+		}
+		steps = fs.state.Steps()
+		seq, genErr = fs.entry.model.Forecast(r.Context(), fs.state, core.GenOptions{
+			T:            req.T,
+			Source:       rand.NewSource(seed),
+			DynamicNodes: req.DynamicNodes,
+			Parallel:     true,
+		})
+	})
+	if !ok {
+		return
+	}
+	if genErr != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, "forecast failed: %v", genErr)
+		return
+	}
+	fs.entry.generated.Add(1)
+	s.writeJSON(w, http.StatusOK, ForecastResponse{
+		Session:   fs.name,
+		Model:     fs.entry.name,
+		Seed:      seed,
+		Steps:     steps,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Sequence:  seq,
+	})
+}
+
+func (s *Server) handleForecastStream(w http.ResponseWriter, r *http.Request) {
+	req, fs, seed, ok := s.decodeForecastRequest(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	err := s.pool.Do(r.Context(), func() {
+		fs.mu.RLock()
+		defer fs.mu.RUnlock()
+		if fs.closed {
+			s.writeError(w, http.StatusNotFound, "session %q was evicted", fs.name)
+			return
+		}
+		m := fs.entry.model
+		header := StreamHeader{
+			Model: fs.entry.name, Session: fs.name, Steps: fs.state.Steps(),
+			Seed: seed, N: m.Cfg.N, F: m.Cfg.F, T: req.T,
+		}
+		s.streamSnapshots(w, r, fs.entry, header, func(yield func(*dyngraph.Snapshot) error) error {
+			return m.ForecastStream(r.Context(), fs.state, core.GenOptions{
+				T:            req.T,
+				Source:       rand.NewSource(seed),
+				DynamicNodes: req.DynamicNodes,
+				Parallel:     true,
+			}, yield)
+		})
+	})
+	switch {
+	case err == nil:
+	case err == ErrBusy || err == ErrClosed:
+		s.writeError(w, http.StatusServiceUnavailable, "server overloaded: %v", err)
+	case r.Context().Err() != nil: // client gone before a worker picked it up
+	default:
+		s.logger.Printf("ERROR %s %s: %v", r.Method, r.URL.Path, err)
+	}
+}

@@ -20,15 +20,18 @@ type GenerateRequest struct {
 	DynamicNodes bool `json:"dynamic_nodes,omitempty"`
 }
 
-// StreamHeader is the first NDJSON line of POST /v1/generate/stream. It
-// carries everything a client needs to pre-size decoding of the snapshot
-// lines that follow.
+// StreamHeader is the first NDJSON line of POST /v1/generate/stream and
+// POST /v1/forecast/stream. It carries everything a client needs to
+// pre-size decoding of the snapshot lines that follow; Session and Steps
+// are set only on the forecast endpoint.
 type StreamHeader struct {
-	Model string `json:"model"`
-	Seed  int64  `json:"seed"`
-	N     int    `json:"n"`
-	F     int    `json:"f"`
-	T     int    `json:"t"` // requested horizon; the trailer reports how many were emitted
+	Model   string `json:"model"`
+	Session string `json:"session,omitempty"` // forecast stream: source session
+	Steps   int    `json:"steps,omitempty"`   // forecast stream: observed steps conditioned on
+	Seed    int64  `json:"seed"`
+	N       int    `json:"n"`
+	F       int    `json:"f"`
+	T       int    `json:"t"` // requested horizon; the trailer reports how many were emitted
 }
 
 // StreamSnapshot is one per-timestep NDJSON line of the streaming
@@ -83,6 +86,77 @@ type BatchResponse struct {
 	Count     int         `json:"count"`
 	ElapsedMS float64     `json:"elapsed_ms"`
 	Results   []BatchItem `json:"results"`
+}
+
+// IngestResponse is the body of a successful POST /v1/ingest: the
+// session's cumulative counters after this request's edge stream was
+// folded into its model state.
+type IngestResponse struct {
+	Session string `json:"session"`
+	Model   string `json:"model"`
+	// Created reports whether this request created the session.
+	Created bool `json:"created,omitempty"`
+	// Absorbed counts snapshots folded into the model state by this
+	// request; Steps is the session's cumulative total.
+	Absorbed int `json:"absorbed"`
+	Steps    int `json:"steps"`
+	// Edges/Records/Dropped/Nodes are cumulative stream counters:
+	// deduplicated edges, parsed records, records dropped under
+	// drop_unknown, and distinct node IDs mapped.
+	Edges   int64 `json:"edges"`
+	Records int64 `json:"records"`
+	Dropped int64 `json:"dropped,omitempty"`
+	Nodes   int   `json:"nodes"`
+	// Pending reports that a window is still under construction after
+	// this request (flush=false with records in the open window); the
+	// next append continues it.
+	Pending   bool    `json:"pending,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	ExpiresAt string  `json:"expires_at"` // RFC3339; refreshed by every touch
+}
+
+// SessionInfo is one entry of GET /v1/ingest.
+type SessionInfo struct {
+	Session string  `json:"session"`
+	Model   string  `json:"model"`
+	Steps   int     `json:"steps"`
+	Edges   int64   `json:"edges"`
+	Records int64   `json:"records"`
+	Dropped int64   `json:"dropped,omitempty"`
+	Nodes   int     `json:"nodes"`
+	AgeS    float64 `json:"age_s"`
+	IdleS   float64 `json:"idle_s"`
+	TTLS    float64 `json:"ttl_s"`
+}
+
+// SessionDeleteResponse is the body of DELETE /v1/ingest?session=....
+type SessionDeleteResponse struct {
+	Session string `json:"session"`
+	Deleted bool   `json:"deleted"`
+}
+
+// ForecastRequest is the body of POST /v1/forecast and
+// POST /v1/forecast/stream: generate T future snapshots conditioned on
+// the named session's ingested history.
+type ForecastRequest struct {
+	Session string `json:"session"`
+	// T is the forecast horizon (required, 1..MaxT).
+	T int `json:"t"`
+	// Seed pins the random stream; omitted, the server draws one and
+	// reports it. The same session + seed always yields the same future.
+	Seed *int64 `json:"seed,omitempty"`
+	// DynamicNodes enables the node add/delete extension (§III-H).
+	DynamicNodes bool `json:"dynamic_nodes,omitempty"`
+}
+
+// ForecastResponse is the body of a successful POST /v1/forecast.
+type ForecastResponse struct {
+	Session   string             `json:"session"`
+	Model     string             `json:"model"`
+	Seed      int64              `json:"seed"`
+	Steps     int                `json:"steps"` // observed steps the forecast continues from
+	ElapsedMS float64            `json:"elapsed_ms"`
+	Sequence  *dyngraph.Sequence `json:"sequence"`
 }
 
 // GenerateResponse is the body of a successful POST /v1/generate.

@@ -3,9 +3,10 @@
 # tracking the performance trajectory commit over commit.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          # micro mode (default): tensor/gnn kernels
-#   scripts/bench.sh serve [output.json]    # serve mode: HTTP load benchmark
-#   scripts/bench.sh train [output.json]    # train mode: TBPTT training engine
+#   scripts/bench.sh [output.json]           # micro mode (default): tensor/gnn kernels
+#   scripts/bench.sh serve [output.json]     # serve mode: HTTP load benchmark
+#   scripts/bench.sh train [output.json]     # train mode: TBPTT training engine
+#   scripts/bench.sh forecast [output.json]  # forecast mode: ingest + conditioned generation
 #
 # Micro mode runs the tensor/gnn micro-benchmarks with -benchmem and emits
 # a JSON array of {name, iterations, ns_per_op, bytes_per_op,
@@ -24,21 +25,41 @@
 # BENCH_train.json). final_loss must be identical across worker counts —
 # the engine's determinism contract — so the artifact doubles as a check.
 #
+# Forecast mode drives `vrdag-bench -forecast`: edge-stream encode
+# throughput (parse → window fold → EncodeSnapshot, edges/sec) and
+# conditioned-generation latency (p50/p99 over repeated forecasts from one
+# encoded prefix), emitting {name, edges_per_sec | p50_ms/p99_ms,
+# peak_rss_bytes} objects (default BENCH_forecast.json).
+#
 # Environment:
-#   BENCHTIME        go test -benchtime value (default 0.5s; CI uses 0.2s)
-#   SERVE_CLIENTS    serve mode: concurrent clients   (default 8)
-#   SERVE_REQUESTS   serve mode: requests/scenario    (default 64)
-#   SERVE_T          serve mode: snapshots/request    (default 32)
-#   TRAIN_SCALE      train mode: Email replica scale  (default 0.05)
-#   TRAIN_EPOCHS     train mode: measured epochs      (default 4)
-#   TRAIN_WORKERS    train mode: CSV worker counts    (default "1,0"; 0 = GOMAXPROCS)
+#   BENCHTIME          go test -benchtime value (default 0.5s; CI uses 0.2s)
+#   SERVE_CLIENTS      serve mode: concurrent clients   (default 8)
+#   SERVE_REQUESTS     serve mode: requests/scenario    (default 64)
+#   SERVE_T            serve mode: snapshots/request    (default 32)
+#   TRAIN_SCALE        train mode: Email replica scale  (default 0.05)
+#   TRAIN_EPOCHS       train mode: measured epochs      (default 4)
+#   TRAIN_WORKERS      train mode: CSV worker counts    (default "1,0"; 0 = GOMAXPROCS)
+#   FORECAST_SCALE     forecast mode: Email replica scale    (default 0.05)
+#   FORECAST_REQUESTS  forecast mode: measured forecasts     (default 32)
+#   FORECAST_T         forecast mode: horizon per forecast   (default 16)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=micro
-if [[ "${1:-}" == "serve" || "${1:-}" == "train" ]]; then
+if [[ "${1:-}" == "serve" || "${1:-}" == "train" || "${1:-}" == "forecast" ]]; then
   mode="$1"
   shift
+fi
+
+if [[ "$mode" == "forecast" ]]; then
+  out="${1:-BENCH_forecast.json}"
+  go run ./cmd/vrdag-bench -forecast \
+    -forecast-scale "${FORECAST_SCALE:-0.05}" \
+    -forecast-requests "${FORECAST_REQUESTS:-32}" \
+    -forecast-t "${FORECAST_T:-16}" \
+    -forecast-out "$out"
+  echo "wrote $(grep -c '"name"' "$out") forecast-bench results to $out"
+  exit 0
 fi
 
 if [[ "$mode" == "train" ]]; then
