@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
 
 	"vrdag/internal/core"
 	"vrdag/internal/datasets"
+	"vrdag/internal/dyngraph"
 )
 
 // Training-path benchmark: wall-time, throughput, and allocation profile
@@ -43,10 +45,16 @@ type trainResult struct {
 	AllocsPerEpoch  uint64  `json:"allocs_per_epoch"`
 	SpeedupVs1      float64 `json:"speedup_vs_1_worker,omitempty"`
 	FinalLoss       float64 `json:"final_loss"`
+	// PeakLiveTape is the high-water mark of tape-owned buffer bytes
+	// across the run's training tapes — what the scheduled executor's
+	// lifetime and rematerialization passes actually bound. PeakRSSBytes
+	// is the process view of the same phase (VmHWM, reset per scenario).
+	PeakLiveTape int64 `json:"peak_live_tape_bytes"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 func runTrainBench(o trainOptions) error {
-	g, _, err := datasets.Replica(datasets.Email, o.scale, o.seed)
+	g, dsCfg, err := datasets.Replica(datasets.Email, o.scale, o.seed)
 	if err != nil {
 		return err
 	}
@@ -54,7 +62,6 @@ func runTrainBench(o trainOptions) error {
 	if window <= 0 || window > g.T() {
 		window = g.T()
 	}
-	windowsPerEpoch := (g.T() + window - 1) / window
 
 	baseCfg := func() core.Config {
 		cfg := core.DefaultConfig(g.N, g.F)
@@ -64,20 +71,32 @@ func runTrainBench(o trainOptions) error {
 		return cfg
 	}
 
-	measure := func(name, engine string, workers int, cfg core.Config) (trainResult, error) {
+	measure := func(name, engine string, workers int, cfg core.Config, seq *dyngraph.Sequence) (trainResult, error) {
+		win := cfg.TBPTT
+		if win <= 0 || win > seq.T() {
+			win = seq.T()
+		}
+		windowsPerEpoch := (seq.T() + win - 1) / win
+
 		// One throwaway epoch warms the arena, tapes, and CSR caches so
 		// the measured run reflects steady state.
 		warm := cfg
 		warm.Epochs = 1
-		if _, err := core.New(warm).Fit(g); err != nil {
+		if _, err := core.New(warm).Fit(seq); err != nil {
 			return trainResult{}, fmt.Errorf("%s warm-up: %w", name, err)
 		}
 
 		m := core.New(cfg)
+		// Return retained heap to the OS before resetting the RSS
+		// high-water mark, so each scenario's peak_rss_bytes reflects its
+		// own working set rather than whatever earlier scenarios grew the
+		// heap to.
+		debug.FreeOSMemory()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
+		resetPeakRSS()
 		start := time.Now()
-		stats, err := m.Fit(g)
+		stats, err := m.Fit(seq)
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {
@@ -89,9 +108,9 @@ func runTrainBench(o trainOptions) error {
 			Name:            name,
 			Engine:          engine,
 			Workers:         workers,
-			N:               g.N,
-			T:               g.T(),
-			Window:          window,
+			N:               seq.N,
+			T:               seq.T(),
+			Window:          win,
 			WindowsPerEpoch: windowsPerEpoch,
 			Epochs:          cfg.Epochs,
 			EpochMS:         epochMS,
@@ -99,16 +118,29 @@ func runTrainBench(o trainOptions) error {
 			BytesPerEpoch:   (after.TotalAlloc - before.TotalAlloc) / uint64(cfg.Epochs),
 			AllocsPerEpoch:  (after.Mallocs - before.Mallocs) / uint64(cfg.Epochs),
 			FinalLoss:       stats.Loss,
+			PeakLiveTape:    m.TapePeakLiveBytes(),
+			PeakRSSBytes:    peakRSS(),
 		}, nil
 	}
 
 	var results []trainResult
 
-	seq, err := measure("train/sequential", "sequential", 0, baseCfg())
+	seq, err := measure("train/sequential", "sequential", 0, baseCfg(), g)
 	if err != nil {
 		return err
 	}
 	results = append(results, seq)
+
+	// Same schedule with the scheduled tape executor forced off: the
+	// peak_live_tape_bytes delta against train/sequential is the lifetime
+	// pass's saving (results are bit-identical by contract).
+	offCfg := baseCfg()
+	offCfg.TapeSched = -1
+	off, err := measure("train/sequential/sched-off", "sequential", 0, offCfg, g)
+	if err != nil {
+		return err
+	}
+	results = append(results, off)
 
 	var oneWorkerMS float64
 	for _, field := range strings.Split(o.workers, ",") {
@@ -128,7 +160,7 @@ func runTrainBench(o trainOptions) error {
 		cfg := baseCfg()
 		cfg.ParallelWindows = true
 		cfg.TrainWorkers = w
-		r, err := measure("train/parallel/"+label, "parallel", w, cfg)
+		r, err := measure("train/parallel/"+label, "parallel", w, cfg, g)
 		if err != nil {
 			return err
 		}
@@ -144,6 +176,39 @@ func runTrainBench(o trainOptions) error {
 		}
 		results = append(results, r)
 	}
+
+	// Long-window scenario: the same replica generated with 4× the
+	// timesteps. The flat row windows it at the original T; the ckpt row
+	// backpropagates through the whole 4×T sequence as one window with
+	// gradient checkpointing, which is what keeps its peak memory near the
+	// flat row's instead of 4× it.
+	longDSCfg := dsCfg
+	longDSCfg.T *= 4
+	longSeq := datasets.Generate(longDSCfg)
+	longEpochs := o.epochs
+	if longEpochs > 2 {
+		longEpochs = 2
+	}
+	flatCfg := core.DefaultConfig(longSeq.N, longSeq.F)
+	flatCfg.Epochs = longEpochs
+	flatCfg.TBPTT = g.T()
+	flatCfg.Seed = o.seed
+	flat, err := measure("train/longwindow/flat", "sequential", 0, flatCfg, longSeq)
+	if err != nil {
+		return err
+	}
+	results = append(results, flat)
+
+	ckptCfg := core.DefaultConfig(longSeq.N, longSeq.F)
+	ckptCfg.Epochs = longEpochs
+	ckptCfg.TBPTT = 0 // one window over the whole 4×T sequence
+	ckptCfg.Seed = o.seed
+	ckptCfg.CheckpointEvery = 2
+	ckpt, err := measure("train/longwindow/ckpt", "sequential", 0, ckptCfg, longSeq)
+	if err != nil {
+		return err
+	}
+	results = append(results, ckpt)
 
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

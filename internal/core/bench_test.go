@@ -24,20 +24,32 @@ func benchModel(b *testing.B, scale float64) (*Model, int) {
 }
 
 // BenchmarkFitEpoch measures one ELBO training epoch (forward + BPTT +
-// Adam) on a small Email replica.
+// Adam) on a small Email replica, once per tape-executor mode. The
+// peak-live-B metric is the high-water mark of tape-owned buffer bytes;
+// the sched/plain ratio is the lifetime pass's saving on the real
+// training loop.
 func BenchmarkFitEpoch(b *testing.B) {
 	g, _, err := datasets.Replica(datasets.Email, 0.03, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := DefaultConfig(g.N, g.F)
-	cfg.Epochs = 1
-	m := New(cfg)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := m.Fit(g); err != nil {
-			b.Fatal(err)
-		}
+	for _, v := range []struct {
+		name  string
+		sched int
+	}{{"sched", 1}, {"plain", -1}} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := DefaultConfig(g.N, g.F)
+			cfg.Epochs = 1
+			cfg.TapeSched = v.sched
+			m := New(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Fit(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m.TapePeakLiveBytes()), "peak-live-B")
+		})
 	}
 }
 

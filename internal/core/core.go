@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 
 	"vrdag/internal/gnn"
 	"vrdag/internal/nn"
@@ -72,6 +73,25 @@ type Config struct {
 	// ParallelWindows is set (0 = GOMAXPROCS). The worker count never
 	// changes the trained weights, only the wall-time.
 	TrainWorkers int
+
+	// TapeSched selects the tape executor for training: 0 (auto) enables
+	// the scheduled executor — lifetime release of dead intermediates
+	// mid-Backward plus backward fusion — unless the VRDAG_TAPE_SCHED
+	// environment variable is "0" or "off"; 1 forces it on; -1 forces the
+	// plain record-order executor. Like TrainWorkers it is a scheduling
+	// hint, never a model hyper-parameter: losses, gradients, and trained
+	// weights are bit-identical in every mode (pinned by
+	// tensor.AssertSchedEquiv and the core scheduling tests).
+	TapeSched int
+	// CheckpointEvery opts in to gradient checkpointing: each TBPTT window
+	// is recorded as rematerialization segments of this many timesteps,
+	// whose intermediate values are dropped after the forward pass and
+	// recomputed during Backward. 0 disables checkpointing. Trades ~1/3
+	// more forward FLOPs for a peak-memory footprint that scales with the
+	// segment length instead of the window length, which is what makes 4×
+	// longer windows trainable in roughly flat memory. Results remain
+	// bit-identical. Ignored when the scheduler is off.
+	CheckpointEvery int
 
 	// BiFlow toggles the bidirectional encoder (ablation switch; default
 	// true). UseSCE selects the scaled cosine error over MSE for attribute
@@ -227,6 +247,49 @@ func New(cfg Config) *Model {
 	m.adam = nn.NewAdam(nn.CollectParams(m.Modules()...), cfg.LR)
 	m.adam.Clip = cfg.GradClip
 	return m
+}
+
+// tapeSched resolves Cfg.TapeSched and Cfg.CheckpointEvery into the
+// tensor-layer scheduling configuration installed on every training tape.
+func (m *Model) tapeSched() tensor.Sched {
+	on := m.Cfg.TapeSched >= 0
+	if m.Cfg.TapeSched == 0 {
+		if v := os.Getenv("VRDAG_TAPE_SCHED"); v == "0" || v == "off" {
+			on = false
+		}
+	}
+	if !on {
+		return tensor.Sched{}
+	}
+	return tensor.Sched{Lifetime: true, Fuse: true, Remat: m.Cfg.CheckpointEvery > 0}
+}
+
+// TapePeakLiveBytes returns the high-water mark of tape-owned buffer bytes
+// across the model's training tapes (the sequential tape and any
+// window-parallel worker tapes). The mark survives Tape.Reset, so after a
+// Fit it reports the per-window training footprint the scheduler achieved.
+func (m *Model) TapePeakLiveBytes() int64 {
+	var peak int64
+	if m.tape != nil {
+		peak = m.tape.PeakLiveBytes()
+	}
+	for _, tp := range m.workerTapes {
+		if p := tp.PeakLiveBytes(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// ResetTapePeakLiveBytes rewinds every training tape's high-water mark
+// (benchmark phase boundaries).
+func (m *Model) ResetTapePeakLiveBytes() {
+	if m.tape != nil {
+		m.tape.ResetPeakLiveBytes()
+	}
+	for _, tp := range m.workerTapes {
+		tp.ResetPeakLiveBytes()
+	}
 }
 
 // Modules lists every trainable sub-module.

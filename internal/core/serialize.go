@@ -58,11 +58,15 @@ func (m *Model) Save(w io.Writer) error {
 		AttrCorrChol:  m.attrCorrChol,
 		AttrQuantiles: m.attrQuantiles,
 	}
-	// TrainWorkers is a scheduling hint, not a model hyper-parameter: a
-	// checkpoint trained with 8 workers must be byte-identical to one
-	// trained with 1 (the worker-invariance contract) and must not pin a
-	// worker count on whatever machine later loads it.
+	// TrainWorkers, TapeSched, and CheckpointEvery are scheduling hints,
+	// not model hyper-parameters: a checkpoint trained with 8 workers, or
+	// with the scheduled tape executor and rematerialization, must be
+	// byte-identical to one trained sequentially on the plain executor
+	// (the invariance contracts pinned by the serialization tests), and
+	// must not pin execution details on whatever machine later loads it.
 	st.Cfg.TrainWorkers = 0
+	st.Cfg.TapeSched = 0
+	st.Cfg.CheckpointEvery = 0
 	seen := make(map[string]bool)
 	for _, p := range nn.CollectParams(m.Modules()...) {
 		if seen[p.Name] {

@@ -197,9 +197,17 @@ func (m *Model) runEpochParallel(ctx context.Context, g *dyngraph.Sequence, epoc
 		}()
 	}
 
-	// Pass 2 — all windows concurrently, one tape per worker.
+	// Pass 2 — all windows concurrently, one tape per worker. Each tape
+	// runs the same scheduling configuration as the sequential path (a
+	// worker tape may hold recordings from an aborted epoch; Reset first so
+	// the schedule can be installed).
 	for len(m.workerTapes) < workers {
 		m.workerTapes = append(m.workerTapes, tensor.NewTape())
+	}
+	sched := m.tapeSched()
+	for _, tp := range m.workerTapes {
+		tp.Reset()
+		tp.SetSched(sched)
 	}
 	var nextWin atomic.Int64
 	var wg sync.WaitGroup
@@ -273,41 +281,59 @@ func (m *Model) runWindow(tape *tensor.Tape, g *dyngraph.Sequence, prep []stepPr
 	h := tape.Const(seed)
 	var strucTerms, attrTerms, klTerms []*tensor.Node
 
-	for t := win.start; t < win.end; t++ {
-		snap := g.At(t)
-		p := &prep[t]
-
-		eps := m.enc.Encode(c, p.encSnap)
-		muQ, logSigQ := m.posterior(c, eps, h)
-		muP, logSigP := m.prior(c, h)
-		klTerms = append(klTerms, tape.Scale(tape.GaussianKL(muQ, logSigQ, muP, logSigP),
-			1/float64(n*m.Cfg.LatentDim)))
-
-		// z = µ + ε·σ with the pre-drawn noise of the prep pass; Const
-		// because the epoch owns the buffer, not this window's tape.
-		z := tape.Add(muQ, tape.Mul(tape.Const(p.noise), tape.Exp(logSigQ)))
-		s := tape.ConcatCols(z, h)
-
-		if len(p.src) > 0 {
-			pr := m.mixBernoulliProb(c, s, p.src, p.dst, n)
-			strucTerms = append(strucTerms, tape.BCEProb(pr, p.targets))
+	// Same rematerialization layout as the sequential path: segments of
+	// CheckpointEvery timesteps, boundary state and loss terms pinned.
+	span := win.end - win.start
+	if ce := m.Cfg.CheckpointEvery; ce > 0 && ce < span {
+		span = ce
+	}
+	for t0 := win.start; t0 < win.end; t0 += span {
+		t1 := t0 + span
+		if t1 > win.end {
+			t1 = win.end
 		}
+		tape.Checkpoint(func() {
+			for t := t0; t < t1; t++ {
+				snap := g.At(t)
+				p := &prep[t]
 
-		if m.Cfg.F > 0 {
-			esrc, edst := snap.EdgeLists()
-			dec := m.gat.Apply(c, s, esrc, edst, n)
-			xHat := m.attrMLP.Apply(c, dec)
-			if m.Cfg.UseSCE {
-				attrTerms = append(attrTerms, tape.SCELoss(xHat, snap.X, m.Cfg.SCEAlpha))
-			} else {
-				attrTerms = append(attrTerms, tape.MSELoss(xHat, snap.X))
-			}
-			if epoch == m.Cfg.Epochs-1 {
-				out.resid.record(xHat.Value, snap.X)
-			}
-		}
+				eps := m.enc.Encode(c, p.encSnap)
+				muQ, logSigQ := m.posterior(c, eps, h)
+				muP, logSigP := m.prior(c, h)
+				klTerms = append(klTerms, tape.Scale(tape.GaussianKL(muQ, logSigQ, muP, logSigP),
+					1/float64(n*m.Cfg.LatentDim)))
 
-		h = m.gru.Step(c, m.gruInput(c, eps, z, t, n), h)
+				// z = µ + ε·σ with the pre-drawn noise of the prep pass; Const
+				// because the epoch owns the buffer, not this window's tape.
+				z := tape.Add(muQ, tape.Mul(tape.Const(p.noise), tape.Exp(logSigQ)))
+				s := tape.ConcatCols(z, h)
+
+				if len(p.src) > 0 {
+					pr := m.mixBernoulliProb(c, s, p.src, p.dst, n)
+					strucTerms = append(strucTerms, tape.BCEProb(pr, p.targets))
+				}
+
+				if m.Cfg.F > 0 {
+					esrc, edst := snap.EdgeLists()
+					dec := m.gat.Apply(c, s, esrc, edst, n)
+					xHat := m.attrMLP.Apply(c, dec)
+					if m.Cfg.UseSCE {
+						attrTerms = append(attrTerms, tape.SCELoss(xHat, snap.X, m.Cfg.SCEAlpha))
+					} else {
+						attrTerms = append(attrTerms, tape.MSELoss(xHat, snap.X))
+					}
+					if epoch == m.Cfg.Epochs-1 {
+						out.resid.record(xHat.Value, snap.X)
+					}
+				}
+
+				h = m.gru.Step(c, m.gruInput(c, eps, z, t, n), h)
+			}
+			tape.Keep(h)
+			tape.Keep(strucTerms...)
+			tape.Keep(attrTerms...)
+			tape.Keep(klTerms...)
+		})
 	}
 
 	sum := func(terms []*tensor.Node) *tensor.Node {
@@ -324,6 +350,9 @@ func (m *Model) runWindow(tape *tensor.Tape, g *dyngraph.Sequence, prep []stepPr
 	attr := sum(attrTerms)
 	kl := sum(klTerms)
 	loss := tape.Add(tape.Add(struc, attr), tape.Scale(kl, m.Cfg.KLWeight))
+	// Loss components are read after Backward for the window stats; the
+	// scheduled executor must not release them.
+	tape.Keep(struc, attr, kl, loss)
 
 	lv := loss.Value.Data[0]
 	if math.IsNaN(lv) || math.IsInf(lv, 0) {

@@ -5,6 +5,17 @@ import (
 	"math"
 )
 
+// Every operation below follows one discipline: the forward computation
+// lives in a recompute closure handed to Tape.newOp (which runs it once at
+// record time and keeps it for Checkpoint rematerialization), the backward
+// closure reads n.Value rather than a captured output matrix (the buffer
+// may have been dropped and rebuilt in between), and the full input list
+// is registered so the scheduler's use counts are exact. Fusable
+// elementwise consumers additionally offer a fused backward via prepFuse;
+// its scratch fill must mirror the standalone backward's floating-point
+// expressions exactly (same `+=` on a zeroed buffer, same operand order)
+// so scheduled and plain sweeps stay bit-identical.
+
 // ---- Elementwise binary operations ----
 
 // Add returns a + b elementwise.
@@ -12,11 +23,13 @@ func (t *Tape) Add(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("tensor: Add shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = v + b.Value.Data[i]
-	}
-	n := t.op(out, anyGrad(a, b))
+	n := t.newOp(anyGrad(a, b), func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = v + b.Value.Data[i]
+		}
+		return out
+	}, a, b)
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().AddInPlace(n.Grad)
@@ -33,11 +46,13 @@ func (t *Tape) Sub(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("tensor: Sub shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = v - b.Value.Data[i]
-	}
-	n := t.op(out, anyGrad(a, b))
+	n := t.newOp(anyGrad(a, b), func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = v - b.Value.Data[i]
+		}
+		return out
+	}, a, b)
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().AddInPlace(n.Grad)
@@ -54,11 +69,13 @@ func (t *Tape) Mul(a, b *Node) *Node {
 	if !a.Value.SameShape(b.Value) {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %s vs %s", a.Value.shape(), b.Value.shape()))
 	}
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i := range out.Data {
-		out.Data[i] = a.Value.Data[i] * b.Value.Data[i]
-	}
-	n := t.op(out, anyGrad(a, b))
+	n := t.newOp(anyGrad(a, b), func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i := range out.Data {
+			out.Data[i] = a.Value.Data[i] * b.Value.Data[i]
+		}
+		return out
+	}, a, b)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -78,31 +95,49 @@ func (t *Tape) Mul(a, b *Node) *Node {
 
 // Scale returns s*a.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = v * s
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = v * s
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().Axpy(s, n.Grad)
 		}
 	}
+	n.info = opInfo{kind: opElemAffineKind, src: a, scale: s}
+	t.prepFuse(n, a, func(d *Matrix) {
+		// Mirrors Axpy(s, n.Grad) into a zeroed buffer.
+		for i := range d.Data {
+			d.Data[i] += s * n.Grad.Data[i]
+		}
+	})
 	return n
 }
 
 // AddScalar returns a + s elementwise.
 func (t *Tape) AddScalar(a *Node, s float64) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = v + s
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = v + s
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().AddInPlace(n.Grad)
 		}
 	}
+	n.info = opInfo{kind: opElemAffineKind, src: a, scale: 1}
+	t.prepFuse(n, a, func(d *Matrix) {
+		// Mirrors AddInPlace(n.Grad) into a zeroed buffer.
+		for i := range d.Data {
+			d.Data[i] += n.Grad.Data[i]
+		}
+	})
 	return n
 }
 
@@ -111,10 +146,12 @@ func (t *Tape) AddRowVec(a, b *Node) *Node {
 	if b.Value.Rows != 1 || b.Value.Cols != a.Value.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVec needs 1x%d bias, got %s", a.Value.Cols, b.Value.shape()))
 	}
-	out := Get(a.Value.Rows, a.Value.Cols)
-	copy(out.Data, a.Value.Data)
-	out.AddRowVecInPlace(b.Value)
-	n := t.op(out, anyGrad(a, b))
+	n := t.newOp(anyGrad(a, b), func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		copy(out.Data, a.Value.Data)
+		out.AddRowVecInPlace(b.Value)
+		return out
+	}, a, b)
 	n.backward = func() {
 		if a.needGrad {
 			a.grad().AddInPlace(n.Grad)
@@ -137,16 +174,18 @@ func (t *Tape) MulColVec(a, b *Node) *Node {
 	if b.Value.Cols != 1 || b.Value.Rows != a.Value.Rows {
 		panic(fmt.Sprintf("tensor: MulColVec needs %dx1 column, got %s", a.Value.Rows, b.Value.shape()))
 	}
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i := 0; i < out.Rows; i++ {
-		s := b.Value.Data[i]
-		arow := a.Value.Row(i)
-		orow := out.Row(i)
-		for j := range orow {
-			orow[j] = arow[j] * s
+	n := t.newOp(anyGrad(a, b), func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i := 0; i < out.Rows; i++ {
+			s := b.Value.Data[i]
+			arow := a.Value.Row(i)
+			orow := out.Row(i)
+			for j := range orow {
+				orow[j] = arow[j] * s
+			}
 		}
-	}
-	n := t.op(out, anyGrad(a, b))
+		return out
+	}, a, b)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -179,8 +218,9 @@ func (t *Tape) MulColVec(a, b *Node) *Node {
 
 // MatMul returns a·b with full gradient support for both operands.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	out := MatMul(a.Value, b.Value)
-	n := t.op(out, anyGrad(a, b))
+	n := t.newOp(anyGrad(a, b), func() *Matrix {
+		return MatMul(a.Value, b.Value)
+	}, a, b)
 	n.backward = func() {
 		if a.needGrad { // dA = dOut · Bᵀ
 			matMulInto(a.grad(), n.Grad, b.Value, false, true)
@@ -189,6 +229,7 @@ func (t *Tape) MatMul(a, b *Node) *Node {
 			matMulInto(b.grad(), a.Value, n.Grad, true, false)
 		}
 	}
+	n.info = opInfo{kind: opMatMulKind, x: a, w: b}
 	return n
 }
 
@@ -196,13 +237,15 @@ func (t *Tape) MatMul(a, b *Node) *Node {
 // The gradient flows only into a: dA = sᵀ · dOut, accumulated directly
 // into the gradient buffer without an intermediate matrix.
 func (t *Tape) SpMM(s *CSR, a *Node) *Node {
-	out := s.MulDense(a.Value)
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		return s.MulDense(a.Value)
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			s.MulDenseTInto(a.grad(), n.Grad)
 		}
 	}
+	n.info = opInfo{kind: opSpMMKind, x: a, csr: s}
 	return n
 }
 
@@ -290,32 +333,21 @@ func (t *Tape) Affine(x, w, b *Node, act Act) *Node {
 	if b.Value.Rows != 1 || b.Value.Cols != w.Value.Cols {
 		panic(fmt.Sprintf("tensor: Affine needs 1x%d bias, got %s", w.Value.Cols, b.Value.shape()))
 	}
-	out := Get(x.Value.Rows, w.Value.Cols)
-	MatMulInto(out, x.Value, w.Value)
-	out.AddRowVecInPlace(b.Value)
-	applyActSlice(out.Data, act)
-	n := t.op(out, anyGrad(x, w, b))
+	n := t.newOp(anyGrad(x, w, b), func() *Matrix {
+		out := Get(x.Value.Rows, w.Value.Cols)
+		MatMulInto(out, x.Value, w.Value)
+		out.AddRowVecInPlace(b.Value)
+		applyActSlice(out.Data, act)
+		return out
+	}, x, w, b)
 	n.backward = func() {
-		dPre, scratch := preGrad(out, n.Grad, act)
-		if x.needGrad {
-			matMulInto(x.grad(), dPre, w.Value, false, true)
-		}
-		if w.needGrad {
-			matMulInto(w.grad(), x.Value, dPre, true, false)
-		}
-		if b.needGrad {
-			g := b.grad()
-			for i := 0; i < dPre.Rows; i++ {
-				row := dPre.Row(i)
-				for j := range g.Data {
-					g.Data[j] += row[j]
-				}
-			}
-		}
+		dPre, scratch := preGrad(n.Value, n.Grad, act)
+		producerGrads(n, dPre)
 		if scratch {
 			Put(dPre)
 		}
 	}
+	n.info = opInfo{kind: opAffineKind, act: act, x: x, w: w, b: b}
 	return n
 }
 
@@ -327,39 +359,22 @@ func (t *Tape) Affine2(x, wx, h, wh, b *Node, act Act) *Node {
 		panic(fmt.Sprintf("tensor: Affine2 bias/width mismatch %s vs %s vs %s",
 			wx.Value.shape(), wh.Value.shape(), b.Value.shape()))
 	}
-	out := Get(x.Value.Rows, wx.Value.Cols)
-	MatMulInto(out, x.Value, wx.Value)
-	MatMulInto(out, h.Value, wh.Value)
-	out.AddRowVecInPlace(b.Value)
-	applyActSlice(out.Data, act)
-	n := t.op(out, anyGrad(x, wx, h, wh, b))
+	n := t.newOp(anyGrad(x, wx, h, wh, b), func() *Matrix {
+		out := Get(x.Value.Rows, wx.Value.Cols)
+		MatMulInto(out, x.Value, wx.Value)
+		MatMulInto(out, h.Value, wh.Value)
+		out.AddRowVecInPlace(b.Value)
+		applyActSlice(out.Data, act)
+		return out
+	}, x, wx, h, wh, b)
 	n.backward = func() {
-		dPre, scratch := preGrad(out, n.Grad, act)
-		if x.needGrad {
-			matMulInto(x.grad(), dPre, wx.Value, false, true)
-		}
-		if wx.needGrad {
-			matMulInto(wx.grad(), x.Value, dPre, true, false)
-		}
-		if h.needGrad {
-			matMulInto(h.grad(), dPre, wh.Value, false, true)
-		}
-		if wh.needGrad {
-			matMulInto(wh.grad(), h.Value, dPre, true, false)
-		}
-		if b.needGrad {
-			g := b.grad()
-			for i := 0; i < dPre.Rows; i++ {
-				row := dPre.Row(i)
-				for j := range g.Data {
-					g.Data[j] += row[j]
-				}
-			}
-		}
+		dPre, scratch := preGrad(n.Value, n.Grad, act)
+		producerGrads(n, dPre)
 		if scratch {
 			Put(dPre)
 		}
 	}
+	n.info = opInfo{kind: opAffineKind, act: act, x: x, w: wx, h: h, u: wh, b: b}
 	return n
 }
 
@@ -370,11 +385,13 @@ func (t *Tape) Lerp(a, b, z *Node) *Node {
 		panic(fmt.Sprintf("tensor: Lerp shape mismatch %s vs %s vs %s",
 			a.Value.shape(), b.Value.shape(), z.Value.shape()))
 	}
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, av := range a.Value.Data {
-		out.Data[i] = av + z.Value.Data[i]*(b.Value.Data[i]-av)
-	}
-	n := t.op(out, anyGrad(a, b, z))
+	n := t.newOp(anyGrad(a, b, z), func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, av := range a.Value.Data {
+			out.Data[i] = av + z.Value.Data[i]*(b.Value.Data[i]-av)
+		}
+		return out
+	}, a, b, z)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -402,49 +419,67 @@ func (t *Tape) Lerp(a, b, z *Node) *Node {
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = sigmoid(v)
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = sigmoid(v)
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
 			for i := range g.Data {
-				y := out.Data[i]
+				y := n.Value.Data[i]
 				g.Data[i] += n.Grad.Data[i] * y * (1 - y)
 			}
 		}
 	}
+	t.prepFuse(n, a, func(d *Matrix) {
+		for i := range d.Data {
+			y := n.Value.Data[i]
+			d.Data[i] += n.Grad.Data[i] * y * (1 - y)
+		}
+	})
 	return n
 }
 
 // Tanh applies tanh elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = math.Tanh(v)
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = math.Tanh(v)
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
 			for i := range g.Data {
-				y := out.Data[i]
+				y := n.Value.Data[i]
 				g.Data[i] += n.Grad.Data[i] * (1 - y*y)
 			}
 		}
 	}
+	t.prepFuse(n, a, func(d *Matrix) {
+		for i := range d.Data {
+			y := n.Value.Data[i]
+			d.Data[i] += n.Grad.Data[i] * (1 - y*y)
+		}
+	})
 	return n
 }
 
 // ReLU applies max(0,x) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = math.Max(0, v)
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = math.Max(0, v)
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -455,20 +490,29 @@ func (t *Tape) ReLU(a *Node) *Node {
 			}
 		}
 	}
+	t.prepFuse(n, a, func(d *Matrix) {
+		for i := range d.Data {
+			if a.Value.Data[i] > 0 {
+				d.Data[i] += n.Grad.Data[i]
+			}
+		}
+	})
 	return n
 }
 
 // LeakyReLU applies x if x>0 else slope*x, elementwise.
 func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		if v > 0 {
-			out.Data[i] = v
-		} else {
-			out.Data[i] = slope * v
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = slope * v
+			}
 		}
-	}
-	n := t.op(out, a.needGrad)
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -481,22 +525,33 @@ func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
 			}
 		}
 	}
+	t.prepFuse(n, a, func(d *Matrix) {
+		for i := range d.Data {
+			if a.Value.Data[i] > 0 {
+				d.Data[i] += n.Grad.Data[i]
+			} else {
+				d.Data[i] += n.Grad.Data[i] * slope
+			}
+		}
+	})
 	return n
 }
 
 // Exp applies e^x elementwise. Inputs are clamped to 40 before
 // exponentiation to keep training numerically stable.
 func (t *Tape) Exp(a *Node) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = math.Exp(math.Min(v, 40))
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = math.Exp(math.Min(v, 40))
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
 			for i := range g.Data {
-				g.Data[i] += n.Grad.Data[i] * out.Data[i]
+				g.Data[i] += n.Grad.Data[i] * n.Value.Data[i]
 			}
 		}
 	}
@@ -505,11 +560,13 @@ func (t *Tape) Exp(a *Node) *Node {
 
 // Log applies ln(max(x, 1e-12)) elementwise.
 func (t *Tape) Log(a *Node) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = math.Log(math.Max(v, 1e-12))
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = math.Log(math.Max(v, 1e-12))
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -523,11 +580,13 @@ func (t *Tape) Log(a *Node) *Node {
 
 // Sin applies sin elementwise (used by Time2Vec temporal embeddings).
 func (t *Tape) Sin(a *Node) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i, v := range a.Value.Data {
-		out.Data[i] = math.Sin(v)
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i, v := range a.Value.Data {
+			out.Data[i] = math.Sin(v)
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -541,18 +600,20 @@ func (t *Tape) Sin(a *Node) *Node {
 
 // SoftmaxRows applies a numerically stable softmax to each row independently.
 func (t *Tape) SoftmaxRows(a *Node) *Node {
-	out := Get(a.Value.Rows, a.Value.Cols)
-	for i := 0; i < a.Value.Rows; i++ {
-		softmaxInto(out.Row(i), a.Value.Row(i))
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(a.Value.Rows, a.Value.Cols)
+		for i := 0; i < a.Value.Rows; i++ {
+			softmaxInto(out.Row(i), a.Value.Row(i))
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if !a.needGrad {
 			return
 		}
 		g := a.grad()
-		for i := 0; i < out.Rows; i++ {
-			y := out.Row(i)
+		for i := 0; i < n.Value.Rows; i++ {
+			y := n.Value.Row(i)
 			dy := n.Grad.Row(i)
 			dot := 0.0
 			for j := range y {
@@ -607,16 +668,18 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 		}
 		total += p.Value.Cols
 	}
-	out := Get(rows, total)
-	off := 0
-	for _, p := range parts {
-		c := p.Value.Cols
-		for i := 0; i < rows; i++ {
-			copy(out.Data[i*total+off:i*total+off+c], p.Value.Row(i))
+	n := t.newOp(anyGrad(parts...), func() *Matrix {
+		out := Get(rows, total)
+		off := 0
+		for _, p := range parts {
+			c := p.Value.Cols
+			for i := 0; i < rows; i++ {
+				copy(out.Data[i*total+off:i*total+off+c], p.Value.Row(i))
+			}
+			off += c
 		}
-		off += c
-	}
-	n := t.op(out, anyGrad(parts...))
+		return out
+	}, parts...)
 	n.backward = func() {
 		off := 0
 		for _, p := range parts {
@@ -643,11 +706,13 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %s", lo, hi, a.Value.shape()))
 	}
 	rows, w := a.Value.Rows, hi-lo
-	out := Get(rows, w)
-	for i := 0; i < rows; i++ {
-		copy(out.Row(i), a.Value.Row(i)[lo:hi])
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(rows, w)
+		for i := 0; i < rows; i++ {
+			copy(out.Row(i), a.Value.Row(i)[lo:hi])
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -666,11 +731,13 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 // GatherRows selects rows of a by index: out[k] = a[idx[k]].
 func (t *Tape) GatherRows(a *Node, idx []int) *Node {
 	cols := a.Value.Cols
-	out := Get(len(idx), cols)
-	for k, i := range idx {
-		copy(out.Row(k), a.Value.Row(i))
-	}
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(len(idx), cols)
+		for k, i := range idx {
+			copy(out.Row(k), a.Value.Row(i))
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -693,15 +760,17 @@ func (t *Tape) ScatterAddRows(a *Node, idx []int, outRows int) *Node {
 		panic(fmt.Sprintf("tensor: ScatterAddRows idx len %d != rows %d", len(idx), a.Value.Rows))
 	}
 	cols := a.Value.Cols
-	out := Get(outRows, cols)
-	for k, i := range idx {
-		orow := out.Row(i)
-		arow := a.Value.Row(k)
-		for j := range orow {
-			orow[j] += arow[j]
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(outRows, cols)
+		for k, i := range idx {
+			orow := out.Row(i)
+			arow := a.Value.Row(k)
+			for j := range orow {
+				orow[j] += arow[j]
+			}
 		}
-	}
-	n := t.op(out, a.needGrad)
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -726,39 +795,41 @@ func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
 		panic("tensor: SegmentSoftmax needs E×1 input with matching segment slice")
 	}
 	e := a.Value.Rows
-	mx := make([]float64, nSeg)
-	for i := range mx {
-		mx[i] = math.Inf(-1)
-	}
-	for k := 0; k < e; k++ {
-		if v := a.Value.Data[k]; v > mx[seg[k]] {
-			mx[seg[k]] = v
+	n := t.newOp(a.needGrad, func() *Matrix {
+		mx := make([]float64, nSeg)
+		for i := range mx {
+			mx[i] = math.Inf(-1)
 		}
-	}
-	sum := make([]float64, nSeg)
-	out := Get(e, 1)
-	for k := 0; k < e; k++ {
-		v := math.Exp(a.Value.Data[k] - mx[seg[k]])
-		out.Data[k] = v
-		sum[seg[k]] += v
-	}
-	for k := 0; k < e; k++ {
-		if s := sum[seg[k]]; s > 0 {
-			out.Data[k] /= s
+		for k := 0; k < e; k++ {
+			if v := a.Value.Data[k]; v > mx[seg[k]] {
+				mx[seg[k]] = v
+			}
 		}
-	}
-	n := t.op(out, a.needGrad)
+		sum := make([]float64, nSeg)
+		out := Get(e, 1)
+		for k := 0; k < e; k++ {
+			v := math.Exp(a.Value.Data[k] - mx[seg[k]])
+			out.Data[k] = v
+			sum[seg[k]] += v
+		}
+		for k := 0; k < e; k++ {
+			if s := sum[seg[k]]; s > 0 {
+				out.Data[k] /= s
+			}
+		}
+		return out
+	}, a)
 	n.backward = func() {
 		if !a.needGrad {
 			return
 		}
 		dot := make([]float64, nSeg)
 		for k := 0; k < e; k++ {
-			dot[seg[k]] += out.Data[k] * n.Grad.Data[k]
+			dot[seg[k]] += n.Value.Data[k] * n.Grad.Data[k]
 		}
 		g := a.grad()
 		for k := 0; k < e; k++ {
-			g.Data[k] += out.Data[k] * (n.Grad.Data[k] - dot[seg[k]])
+			g.Data[k] += n.Value.Data[k] * (n.Grad.Data[k] - dot[seg[k]])
 		}
 	}
 	return n
@@ -768,9 +839,11 @@ func (t *Tape) SegmentSoftmax(a *Node, seg []int, nSeg int) *Node {
 
 // SumAll reduces a to a 1×1 scalar by summation.
 func (t *Tape) SumAll(a *Node) *Node {
-	out := Get(1, 1)
-	out.Data[0] = a.Value.Sum()
-	n := t.op(out, a.needGrad)
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(1, 1)
+		out.Data[0] = a.Value.Sum()
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
@@ -794,19 +867,22 @@ func (t *Tape) MeanAll(a *Node) *Node {
 
 // SumRows reduces each row to a single value, producing an N×1 column.
 func (t *Tape) SumRows(a *Node) *Node {
-	out := Get(a.Value.Rows, 1)
-	for i := 0; i < a.Value.Rows; i++ {
-		s := 0.0
-		for _, v := range a.Value.Row(i) {
-			s += v
+	rows := a.Value.Rows
+	n := t.newOp(a.needGrad, func() *Matrix {
+		out := Get(rows, 1)
+		for i := 0; i < rows; i++ {
+			s := 0.0
+			for _, v := range a.Value.Row(i) {
+				s += v
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
-	}
-	n := t.op(out, a.needGrad)
+		return out
+	}, a)
 	n.backward = func() {
 		if a.needGrad {
 			g := a.grad()
-			for i := 0; i < a.Value.Rows; i++ {
+			for i := 0; i < rows; i++ {
 				d := n.Grad.Data[i]
 				grow := g.Row(i)
 				for j := range grow {
@@ -828,15 +904,17 @@ func (t *Tape) BCEWithLogits(logits *Node, targets *Matrix) *Node {
 		panic(fmt.Sprintf("tensor: BCEWithLogits shape mismatch %s vs %s", logits.Value.shape(), targets.shape()))
 	}
 	count := float64(len(targets.Data))
-	loss := 0.0
-	for i, x := range logits.Value.Data {
-		y := targets.Data[i]
-		// max(x,0) - x*y + log(1+exp(-|x|))
-		loss += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
-	}
-	out := Get(1, 1)
-	out.Data[0] = loss / count
-	n := t.op(out, logits.needGrad)
+	n := t.newOp(logits.needGrad, func() *Matrix {
+		loss := 0.0
+		for i, x := range logits.Value.Data {
+			y := targets.Data[i]
+			// max(x,0) - x*y + log(1+exp(-|x|))
+			loss += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
+		}
+		out := Get(1, 1)
+		out.Data[0] = loss / count
+		return out
+	}, logits)
 	n.backward = func() {
 		if logits.needGrad {
 			g := logits.grad()
@@ -857,15 +935,17 @@ func (t *Tape) BCEProb(p *Node, targets *Matrix) *Node {
 	}
 	const eps = 1e-7
 	count := float64(len(targets.Data))
-	loss := 0.0
-	for i, v := range p.Value.Data {
-		v = clamp(v, eps, 1-eps)
-		y := targets.Data[i]
-		loss += -(y*math.Log(v) + (1-y)*math.Log(1-v))
-	}
-	out := Get(1, 1)
-	out.Data[0] = loss / count
-	n := t.op(out, p.needGrad)
+	n := t.newOp(p.needGrad, func() *Matrix {
+		loss := 0.0
+		for i, v := range p.Value.Data {
+			v = clamp(v, eps, 1-eps)
+			y := targets.Data[i]
+			loss += -(y*math.Log(v) + (1-y)*math.Log(1-v))
+		}
+		out := Get(1, 1)
+		out.Data[0] = loss / count
+		return out
+	}, p)
 	n.backward = func() {
 		if p.needGrad {
 			g := p.grad()
@@ -888,30 +968,35 @@ func (t *Tape) SCELoss(xhat *Node, x *Matrix, alpha float64) *Node {
 	}
 	const eps = 1e-9
 	rows := x.Rows
-	cos := make([]float64, rows)
-	nx := make([]float64, rows)
-	nxh := make([]float64, rows)
-	dots := make([]float64, rows)
-	loss := 0.0
-	for i := 0; i < rows; i++ {
-		xr, hr := x.Row(i), xhat.Value.Row(i)
-		var dot, a2, b2 float64
-		for j := range xr {
-			dot += xr[j] * hr[j]
-			a2 += xr[j] * xr[j]
-			b2 += hr[j] * hr[j]
+	// Per-row norms and dot products assigned by the recompute closure so
+	// the backward always reads values consistent with the latest forward.
+	var cos, nx, nxh, dots []float64
+	n := t.newOp(xhat.needGrad, func() *Matrix {
+		cos = make([]float64, rows)
+		nx = make([]float64, rows)
+		nxh = make([]float64, rows)
+		dots = make([]float64, rows)
+		loss := 0.0
+		for i := 0; i < rows; i++ {
+			xr, hr := x.Row(i), xhat.Value.Row(i)
+			var dot, a2, b2 float64
+			for j := range xr {
+				dot += xr[j] * hr[j]
+				a2 += xr[j] * xr[j]
+				b2 += hr[j] * hr[j]
+			}
+			nx[i] = math.Sqrt(a2) + eps
+			nxh[i] = math.Sqrt(b2) + eps
+			dots[i] = dot
+			cos[i] = dot / (nx[i] * nxh[i])
+			loss += math.Pow(math.Max(1-cos[i], 0), alpha)
 		}
-		nx[i] = math.Sqrt(a2) + eps
-		nxh[i] = math.Sqrt(b2) + eps
-		dots[i] = dot
-		cos[i] = dot / (nx[i] * nxh[i])
-		loss += math.Pow(math.Max(1-cos[i], 0), alpha)
-	}
-	out := Get(1, 1)
-	if rows > 0 {
-		out.Data[0] = loss / float64(rows)
-	}
-	n := t.op(out, xhat.needGrad)
+		out := Get(1, 1)
+		if rows > 0 {
+			out.Data[0] = loss / float64(rows)
+		}
+		return out
+	}, xhat)
 	n.backward = func() {
 		if !xhat.needGrad || rows == 0 {
 			return
@@ -943,16 +1028,18 @@ func (t *Tape) MSELoss(xhat *Node, x *Matrix) *Node {
 		panic(fmt.Sprintf("tensor: MSELoss shape mismatch %s vs %s", xhat.Value.shape(), x.shape()))
 	}
 	count := float64(len(x.Data))
-	loss := 0.0
-	for i, v := range xhat.Value.Data {
-		d := v - x.Data[i]
-		loss += d * d
-	}
-	out := Get(1, 1)
-	if count > 0 {
-		out.Data[0] = loss / count
-	}
-	n := t.op(out, xhat.needGrad)
+	n := t.newOp(xhat.needGrad, func() *Matrix {
+		loss := 0.0
+		for i, v := range xhat.Value.Data {
+			d := v - x.Data[i]
+			loss += d * d
+		}
+		out := Get(1, 1)
+		if count > 0 {
+			out.Data[0] = loss / count
+		}
+		return out
+	}, xhat)
 	n.backward = func() {
 		if xhat.needGrad && count > 0 {
 			g := xhat.grad()
@@ -979,19 +1066,22 @@ func (t *Tape) GaussianKL(muQ, logSigQ, muP, logSigP *Node) *Node {
 		}
 	}
 	size := len(shape.Data)
-	kl := 0.0
-	sq2 := make([]float64, size) // σq²
-	sp2 := make([]float64, size) // σp²
-	for i := 0; i < size; i++ {
-		sq := math.Exp(clamp(logSigQ.Value.Data[i], -20, 20))
-		sp := math.Exp(clamp(logSigP.Value.Data[i], -20, 20))
-		sq2[i], sp2[i] = sq*sq, sp*sp
-		dm := muQ.Value.Data[i] - muP.Value.Data[i]
-		kl += logSigP.Value.Data[i] - logSigQ.Value.Data[i] + (sq2[i]+dm*dm)/(2*sp2[i]) - 0.5
-	}
-	out := Get(1, 1)
-	out.Data[0] = kl
-	n := t.op(out, anyGrad(muQ, logSigQ, muP, logSigP))
+	var sq2, sp2 []float64 // σq², σp², refreshed by each forward run
+	n := t.newOp(anyGrad(muQ, logSigQ, muP, logSigP), func() *Matrix {
+		sq2 = make([]float64, size)
+		sp2 = make([]float64, size)
+		kl := 0.0
+		for i := 0; i < size; i++ {
+			sq := math.Exp(clamp(logSigQ.Value.Data[i], -20, 20))
+			sp := math.Exp(clamp(logSigP.Value.Data[i], -20, 20))
+			sq2[i], sp2[i] = sq*sq, sp*sp
+			dm := muQ.Value.Data[i] - muP.Value.Data[i]
+			kl += logSigP.Value.Data[i] - logSigQ.Value.Data[i] + (sq2[i]+dm*dm)/(2*sp2[i]) - 0.5
+		}
+		out := Get(1, 1)
+		out.Data[0] = kl
+		return out
+	}, muQ, logSigQ, muP, logSigP)
 	n.backward = func() {
 		d := n.Grad.Data[0]
 		for i := 0; i < size; i++ {

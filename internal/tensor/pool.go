@@ -130,6 +130,13 @@ type shardCounters struct {
 var (
 	arena      [numBuckets]bucketPool
 	shardStats []shardCounters
+
+	// poolLive tracks bytes of bucketed buffers currently checked out
+	// (Get minus Put); poolPeakLive is its high-water mark. Buffers that
+	// escape into long-lived structures stay counted until Put, so the
+	// pair describes arena pressure, not process RSS.
+	poolLive     atomic.Int64
+	poolPeakLive atomic.Int64
 )
 
 func init() {
@@ -138,6 +145,25 @@ func init() {
 	}
 	shardStats = make([]shardCounters, poolShards)
 }
+
+// trackPoolLive adjusts the checked-out byte count and, for positive
+// deltas, advances the high-water mark.
+func trackPoolLive(delta int64) {
+	v := poolLive.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	for {
+		p := poolPeakLive.Load()
+		if v <= p || poolPeakLive.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// ResetPoolPeakLive rewinds the arena's live-byte high-water mark to the
+// current level (benchmark phase boundaries).
+func ResetPoolPeakLive() { poolPeakLive.Store(poolLive.Load()) }
 
 // shardHint picks the caller's home shard. rand/v2's global generator is
 // backed by per-thread runtime state, so this is a few nanoseconds, scales
@@ -178,6 +204,7 @@ func Get(rows, cols int) *Matrix {
 	h := shardHint()
 	sc := &shardStats[h]
 	sc.gets.Add(1)
+	trackPoolLive(8 << (idx + minBucketBits))
 
 	data := bp.shards[h].pop(false)
 	if data == nil && poolShards > 1 {
@@ -222,6 +249,7 @@ func Put(m *Matrix) {
 	bp := &arena[b-minBucketBits]
 	h := shardHint()
 	shardStats[h].frees.Add(1)
+	trackPoolLive(-int64(c) * 8)
 	buf := m.Data[:c]
 	if bp.shards[h].push(buf, maxShardBytes) {
 		return
@@ -237,6 +265,8 @@ type PoolStats struct {
 	Puts          int64 // buffers returned
 	Steals        int64 // hits served by a shard other than the caller's
 	RetainedBytes int64 // bytes currently held on free lists
+	LiveBytes     int64 // bytes of bucketed buffers currently checked out
+	PeakLiveBytes int64 // high-water mark of LiveBytes (ResetPoolPeakLive rewinds)
 
 	Shards []PoolShardStats // per-shard traffic, indexed by shard id
 }
@@ -253,7 +283,11 @@ type PoolShardStats struct {
 // ReadPoolStats returns current arena counters, including the per-shard
 // breakdown (len(Shards) == the process's shard count).
 func ReadPoolStats() PoolStats {
-	s := PoolStats{Shards: make([]PoolShardStats, poolShards)}
+	s := PoolStats{
+		Shards:        make([]PoolShardStats, poolShards),
+		LiveBytes:     poolLive.Load(),
+		PeakLiveBytes: poolPeakLive.Load(),
+	}
 	for h := range shardStats {
 		sc := &shardStats[h]
 		sh := PoolShardStats{

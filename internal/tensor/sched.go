@@ -1,0 +1,323 @@
+package tensor
+
+// This file implements the tape's scheduled executor: the lifetime,
+// fusion, and rematerialization passes that turn the recorded op DAG from
+// a retain-everything log into a memory-aware schedule.
+//
+// The framing is a retain set under a memory budget: of everything the
+// forward pass produced, only three classes of buffer must survive any
+// given point of the backward sweep —
+//
+//   - Values of nodes the sweep has not reached yet (their closures still
+//     read parent values),
+//   - Grads of nodes the sweep has not reached yet (consumers accumulate
+//     into them),
+//   - Values pinned with Keep plus Var/Const leaves (read by the caller
+//     after Backward).
+//
+// Everything else is dead. The lifetime pass exploits the tape's
+// topological record order to compute last-uses for free: every consumer
+// of node i sits at an index greater than i, so by the time the descending
+// sweep has run node i's own closure, no later closure can read i's Value
+// or write i's Grad — both buffers are released immediately. Checkpoint
+// inverts the same argument for the forward direction: a segment's
+// interior values have no readers outside the segment (boundary values are
+// Keep-pinned by the caller), so they can be dropped at record time and
+// rebuilt from the fwd closures just before the sweep enters the segment.
+//
+// The fusion pass rewrites the schedule rather than the arithmetic: an
+// elementwise consumer (activation, Scale, AddScalar) of a single-consumer
+// producer (MatMul/Affine/SpMM/elementwise-affine) computes the producer's
+// would-be gradient into a scratch buffer using the consumer's exact
+// standalone update, then feeds the producer's own input-gradient code
+// directly — skipping the producer's full-size Grad allocation entirely.
+// Every fused closure replicates the unfused pair's floating-point
+// operations in the same order, so results are bit-identical; the
+// differential harness (AssertSchedEquiv) and FuzzTapeSchedule pin that.
+
+// Sched configures the tape's scheduled executor. The zero value is the
+// plain record-order executor: nothing released before Reset, no fusion,
+// Checkpoint segments inert. All three passes preserve bit-identical
+// outputs, gradients, and optimizer state; they only change when buffers
+// live and which closures run.
+type Sched struct {
+	// Lifetime releases each node's Value and Grad back to the arena as
+	// soon as the backward sweep passes it, instead of holding every
+	// buffer until Reset. Values pinned with Keep and Var/Const leaves
+	// are exempt. Backward then consumes the recording (one Backward per
+	// recording, then Reset).
+	Lifetime bool
+	// Fuse lets Backward collapse single-consumer elementwise chains
+	// (Sigmoid/Tanh/ReLU/LeakyReLU after an unactivated Affine/Affine2/
+	// MatMul/SpMM, Scale/AddScalar compositions) into one closure that
+	// bypasses the intermediate gradient buffer.
+	Fuse bool
+	// Remat arms Checkpoint segments: recorded intermediates inside a
+	// segment are dropped when it closes and rematerialized from their
+	// recompute closures during Backward. With Remat off, Checkpoint
+	// just runs its function.
+	Remat bool
+}
+
+// SchedAll enables every scheduling pass; the training engine's default.
+var SchedAll = Sched{Lifetime: true, Fuse: true, Remat: true}
+
+// SetSched installs the scheduling configuration. It must be called while
+// the tape is empty (freshly created or just Reset) so recording and
+// execution agree on the schedule; calling it again with the same
+// configuration is always allowed.
+func (t *Tape) SetSched(s Sched) {
+	if len(t.nodes) != 0 && s != t.sched {
+		panic("tensor: SetSched on a non-empty tape")
+	}
+	t.sched = s
+}
+
+// Sched returns the tape's current scheduling configuration.
+func (t *Tape) Sched() Sched { return t.sched }
+
+// Keep pins node values until Reset: the scheduled Backward will not
+// release them and Checkpoint segments will not drop them. Anything read
+// after Backward returns — loss terms, the detached hidden state, harness
+// probe outputs — must be pinned. Keep is idempotent and is a no-op for
+// nil nodes and under the plain executor.
+func (t *Tape) Keep(ns ...*Node) {
+	for _, n := range ns {
+		if n != nil {
+			n.keep = true
+		}
+	}
+}
+
+// ReleaseGrad returns n's gradient buffer to the arena immediately instead
+// of waiting for Reset. Gradient sinks call it once they have accumulated
+// a leaf's gradient; n.Grad must not be read afterwards.
+func (t *Tape) ReleaseGrad(n *Node) {
+	if n.Grad != nil {
+		t.putBuf(&n.Grad)
+	}
+}
+
+// Checkpoint records everything fn adds to the tape as one
+// rematerialization segment. When the schedule arms Remat, the segment's
+// interior values — pooled, not Keep-pinned, rebuildable from a recompute
+// closure — are dropped back to the arena as soon as fn returns, and
+// rebuilt in recording order when the backward sweep reaches the segment.
+// Values consumed outside their segment (boundary hidden states, loss
+// terms) must be pinned with Keep inside fn, before the segment closes.
+// Segments must not nest.
+func (t *Tape) Checkpoint(fn func()) {
+	if !t.sched.Remat {
+		fn()
+		return
+	}
+	if t.segDepth != 0 {
+		panic("tensor: nested Checkpoint segments")
+	}
+	t.segDepth = 1
+	t.segStart = len(t.nodes)
+	fn()
+	start, end := t.segStart, len(t.nodes)
+	t.segDepth = 0
+	dropped := false
+	for k := start; k < end; k++ {
+		n := t.nodes[k]
+		if n.pooled && !n.keep && n.fwd != nil {
+			t.putBuf(&n.Value)
+			n.pooled = false
+			n.dropped = true
+			n.segEnd = int32(end)
+			dropped = true
+		}
+	}
+	if dropped {
+		t.segs = append(t.segs, seg{start: start, end: end})
+	}
+}
+
+// remat rebuilds a segment's dropped values in recording order. Parent
+// values are available by construction: earlier in-segment nodes are
+// rebuilt first, pre-segment nodes have not been released yet (the sweep
+// has not passed them), and cross-segment inputs are Keep-pinned.
+func (t *Tape) remat(s seg) {
+	for k := s.start; k < s.end; k++ {
+		n := t.nodes[k]
+		if n.dropped {
+			n.Value = n.fwd()
+			n.dropped = false
+			n.pooled = true
+			t.trackAlloc(int64(len(n.Value.Data)) * 8)
+		}
+	}
+}
+
+// fusePass installs prepared fused closures where the single-consumer gate
+// holds. It runs after the loss gradient is seeded so a producer that is
+// itself the loss (Grad already set) keeps its own closure, and after
+// Checkpoint segments have dropped their interiors, so operand residency
+// can be checked against the rematerialization schedule.
+func (t *Tape) fusePass() {
+	for i, n := range t.nodes {
+		if n.fused == nil {
+			continue
+		}
+		p := n.fuseSrc
+		if p.uses == 1 && p.needGrad && p.backward != nil && p.Grad == nil &&
+			t.fuseOperandsReady(p, i) {
+			n.backward = n.fused
+			t.fusedOps++
+		}
+	}
+}
+
+// fuseOperandsReady reports whether every operand the fused closure would
+// touch (values read by producerGrads, plus the shapes behind each grad()
+// call) will be resident when the consumer at index ci runs. An operand
+// dropped by a Checkpoint segment is rebuilt when the descending sweep
+// reaches the segment's last index, so it is available to the consumer only
+// if the consumer sits inside that segment (ci < segEnd). A consumer after
+// the segment runs before the remat and must keep the unfused schedule,
+// which defers the in-segment reads until after rematerialization.
+func (t *Tape) fuseOperandsReady(p *Node, ci int) bool {
+	ready := func(o *Node) bool {
+		return o == nil || !o.dropped || ci < int(o.segEnd)
+	}
+	in := &p.info
+	return ready(in.x) && ready(in.w) && ready(in.h) && ready(in.u) &&
+		ready(in.b) && ready(in.src)
+}
+
+// prepFuse offers consumer n's fused backward over producer p. The closure
+// is installed only if the fusion gate (sole consumer, gradient-bearing
+// producer) still holds at Backward time. dFill must write the consumer's
+// exact standalone gradient-to-producer contribution into the zeroed
+// scratch buffer with the same floating-point expressions the standalone
+// backward uses, so fused and unfused sweeps stay bit-identical.
+func (t *Tape) prepFuse(n, p *Node, dFill func(d *Matrix)) {
+	if !t.sched.Fuse {
+		return
+	}
+	switch p.info.kind {
+	case opAffineKind:
+		if p.info.act != ActIdent {
+			return
+		}
+	case opMatMulKind, opSpMMKind, opElemAffineKind:
+	default:
+		return
+	}
+	n.fuseSrc = p
+	n.fused = func() {
+		d := Get(n.Grad.Rows, n.Grad.Cols)
+		dFill(d)
+		producerGrads(p, d)
+		Put(d)
+	}
+}
+
+// opKind tags the producer patterns the fusion pass understands.
+type opKind uint8
+
+const (
+	opPlainKind opKind = iota
+	opAffineKind
+	opMatMulKind
+	opSpMMKind
+	opElemAffineKind
+)
+
+// opInfo carries the structural metadata the fusion pass needs to route a
+// consumer's gradient directly into a producer's inputs.
+type opInfo struct {
+	kind opKind
+	act  Act // activation baked into an opAffineKind producer
+
+	x, w *Node // MatMul operands / Affine input·weight
+	h, u *Node // Affine2 recurrent input·weight (nil for plain Affine)
+	b    *Node // Affine bias
+	csr  *CSR  // SpMM constant sparse operand (input in x)
+
+	src   *Node   // opElemAffineKind input
+	scale float64 // opElemAffineKind multiplier (1 for AddScalar)
+}
+
+// producerGrads propagates dPre — the gradient a bypassed producer would
+// have received in its Grad buffer — into the producer's inputs, using the
+// producer's own backward arithmetic in its original order.
+func producerGrads(p *Node, dPre *Matrix) {
+	in := &p.info
+	switch in.kind {
+	case opMatMulKind:
+		if in.x.needGrad {
+			matMulInto(in.x.grad(), dPre, in.w.Value, false, true)
+		}
+		if in.w.needGrad {
+			matMulInto(in.w.grad(), in.x.Value, dPre, true, false)
+		}
+	case opSpMMKind:
+		if in.x.needGrad {
+			in.csr.MulDenseTInto(in.x.grad(), dPre)
+		}
+	case opAffineKind:
+		if in.x.needGrad {
+			matMulInto(in.x.grad(), dPre, in.w.Value, false, true)
+		}
+		if in.w.needGrad {
+			matMulInto(in.w.grad(), in.x.Value, dPre, true, false)
+		}
+		if in.h != nil {
+			if in.h.needGrad {
+				matMulInto(in.h.grad(), dPre, in.u.Value, false, true)
+			}
+			if in.u.needGrad {
+				matMulInto(in.u.grad(), in.h.Value, dPre, true, false)
+			}
+		}
+		if in.b.needGrad {
+			g := in.b.grad()
+			for i := 0; i < dPre.Rows; i++ {
+				row := dPre.Row(i)
+				for j := range g.Data {
+					g.Data[j] += row[j]
+				}
+			}
+		}
+	case opElemAffineKind:
+		if in.src.needGrad {
+			in.src.grad().Axpy(in.scale, dPre)
+		}
+	}
+}
+
+// ---- Live-byte accounting ----
+
+// trackAlloc records b bytes of tape-owned buffer being checked out.
+func (t *Tape) trackAlloc(b int64) {
+	t.live += b
+	if t.live > t.peak {
+		t.peak = t.live
+	}
+}
+
+// putBuf returns a tape-owned buffer to the arena and clears the pointer.
+func (t *Tape) putBuf(m **Matrix) {
+	t.live -= int64(len((*m).Data)) * 8
+	Put(*m)
+	*m = nil
+}
+
+// LiveBytes returns the bytes of tape-owned buffers (op outputs and
+// gradients) currently checked out of the arena. Zero after Reset.
+func (t *Tape) LiveBytes() int64 { return t.live }
+
+// PeakLiveBytes returns the high-water mark of LiveBytes since the tape
+// was created or the mark was last reset. It survives Reset, so it
+// reports the per-window peak across a whole training run.
+func (t *Tape) PeakLiveBytes() int64 { return t.peak }
+
+// ResetPeakLiveBytes rewinds the high-water mark to the current level.
+func (t *Tape) ResetPeakLiveBytes() { t.peak = t.live }
+
+// FusedBackwards returns how many backward closures the fusion pass has
+// replaced since the tape was created (diagnostics).
+func (t *Tape) FusedBackwards() int64 { return t.fusedOps }

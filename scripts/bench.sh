@@ -10,7 +10,9 @@
 #
 # Micro mode runs the tensor/gnn micro-benchmarks with -benchmem and emits
 # a JSON array of {name, iterations, ns_per_op, bytes_per_op,
-# allocs_per_op} objects (default BENCH_tensor.json).
+# allocs_per_op} objects (default BENCH_tensor.json). Benchmarks that
+# report the tape scheduler's high-water mark (the BenchmarkTapeBackward*
+# family) carry an extra peak_live_bytes field.
 #
 # Serve mode drives `vrdag-bench -serve`: concurrent clients against an
 # in-process HTTP server, one scenario per generation endpoint (unary,
@@ -21,9 +23,14 @@
 # Train mode drives `vrdag-bench -train`: the sequential TBPTT engine vs
 # the window-parallel engine at several worker counts, emitting {name,
 # engine, workers, epoch_ms, windows_per_sec, bytes_per_epoch,
-# allocs_per_epoch, speedup_vs_1_worker, final_loss} objects (default
-# BENCH_train.json). final_loss must be identical across worker counts —
-# the engine's determinism contract — so the artifact doubles as a check.
+# allocs_per_epoch, speedup_vs_1_worker, final_loss, peak_live_tape_bytes,
+# peak_rss_bytes} objects (default BENCH_train.json). final_loss must be
+# identical across worker counts — the engine's determinism contract — so
+# the artifact doubles as a check. Two extra scenarios bracket the memory
+# scheduler: train/sequential/sched-off (same run, scheduled executor
+# disabled — the peak_live_tape_bytes delta is the lifetime pass's saving)
+# and train/longwindow/{flat,ckpt} (a 4×-T replica trained windowed vs as
+# one checkpointed full-sequence window).
 #
 # Forecast mode drives `vrdag-bench -forecast`: edge-stream encode
 # throughput (parse → window fold → EncodeSnapshot, edges/sec) and
@@ -92,15 +99,28 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" \
   ./internal/tensor/ ./internal/gnn/ | tee "$raw"
 
+# Benchmark lines are value/unit pairs after the name and iteration count;
+# custom metrics (b.ReportMetric, e.g. peak-live-B) land between ns/op and
+# the -benchmem columns, so walk the pairs instead of assuming positions.
 awk '
   BEGIN { print "["; first = 1 }
-  /^Benchmark/ && $4 == "ns/op" && $6 == "B/op" && $8 == "allocs/op" {
+  /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""; peak = ""
+    for (i = 3; i < NF; i += 2) {
+      if ($(i + 1) == "ns/op") ns = $i
+      else if ($(i + 1) == "B/op") bytes = $i
+      else if ($(i + 1) == "allocs/op") allocs = $i
+      else if ($(i + 1) == "peak-live-B") peak = $i
+    }
+    if (ns == "" || bytes == "" || allocs == "") next
     if (!first) printf(",\n")
     first = 0
-    printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-           name, $2, $3, $5, $7)
+    printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
+           name, $2, ns, bytes, allocs)
+    if (peak != "") printf(", \"peak_live_bytes\": %s", peak)
+    printf("}")
   }
   END { print "\n]" }
 ' "$raw" > "$out"
