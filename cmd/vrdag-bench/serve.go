@@ -20,6 +20,7 @@ import (
 
 	"vrdag/internal/core"
 	"vrdag/internal/datasets"
+	"vrdag/internal/dyngraph"
 	"vrdag/internal/server"
 )
 
@@ -53,6 +54,15 @@ type serveResult struct {
 	Errors       int     `json:"errors"`
 	Snapshots    int64   `json:"snapshots"` // total snapshots received across requests
 	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+
+	// Durability fields, present only for the serve/ingest-durable
+	// scenario: WAL appends and fsync latency during the load phase, and
+	// the time a cold process took to recover every session afterwards.
+	WALAppends    int64   `json:"wal_appends,omitempty"`
+	FsyncP99MS    float64 `json:"fsync_p99_ms,omitempty"`
+	Recoveries    int64   `json:"recoveries,omitempty"`
+	RecoveryMS    float64 `json:"recovery_ms,omitempty"`
+	SnapshotCount int64   `json:"snapshot_count,omitempty"`
 }
 
 func runServeBench(o serveOptions) error {
@@ -148,6 +158,14 @@ func runServeBench(o serveOptions) error {
 			res.Name, res.RPS, res.P50MS, res.P99MS, res.Errors, float64(res.PeakRSSBytes)/(1<<20))
 	}
 
+	if res, err := runDurableIngestBench(o, m, g); err != nil {
+		fmt.Fprintf(os.Stderr, "serve-bench: durable scenario skipped: %v\n", err)
+	} else {
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr, "serve-bench: %-16s %7.1f req/s  p50 %8.2f ms  p99 %8.2f ms  errors %d  wal %d  fsync p99 %.2f ms  recovery %.1f ms\n",
+			res.Name, res.RPS, res.P50MS, res.P99MS, res.Errors, res.WALAppends, res.FsyncP99MS, res.RecoveryMS)
+	}
+
 	enc, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
@@ -162,6 +180,124 @@ func runServeBench(o serveOptions) error {
 	}
 	fmt.Fprintf(os.Stderr, "serve-bench: wrote %d results to %s\n", len(results), o.out)
 	return nil
+}
+
+// runDurableIngestBench drives the fsync-disciplined ingest path: each
+// client appends edge batches to its own persisted session, then a cold
+// server recovers the whole data directory. The durability counters come
+// from /v1/metrics (Server.Durability), so this also exercises the same
+// surface operators monitor in production.
+func runDurableIngestBench(o serveOptions, m *core.Model, g *dyngraph.Sequence) (serveResult, error) {
+	dir, err := os.MkdirTemp("", "vrdag-bench-durable")
+	if err != nil {
+		return serveResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	newSrv := func() *server.Server {
+		srv := server.New(server.Config{
+			MaxT:    o.t,
+			Queue:   4 * o.clients,
+			DataDir: dir,
+			Logger:  log.New(io.Discard, "", 0),
+		})
+		if err := srv.Register("bench", m, g); err != nil {
+			panic(err)
+		}
+		return srv
+	}
+	srv := newSrv()
+	ts := httptest.NewServer(srv)
+
+	resetPeakRSS()
+	latencies := make([]time.Duration, o.requests)
+	var errCount atomic.Int64
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			session := fmt.Sprintf("bench-c%d", c)
+			step := 0
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.requests {
+					return
+				}
+				var sb strings.Builder
+				sb.WriteString("src,dst,t\n")
+				for e := 0; e < 16; e++ {
+					fmt.Fprintf(&sb, "n%d,n%d,%d\n", e%8, (e+1+step)%8, step)
+				}
+				step++
+				reqStart := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/ingest?session="+session, "text/csv",
+					strings.NewReader(sb.String()))
+				latencies[i] = time.Since(reqStart)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := serveResult{
+		Name:         "serve/ingest-durable",
+		Clients:      o.clients,
+		Requests:     o.requests,
+		T:            o.t,
+		RPS:          float64(o.requests) / elapsed.Seconds(),
+		Errors:       int(errCount.Load()),
+		PeakRSSBytes: peakRSS(),
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50MS = float64(percentile(latencies, 0.50).Microseconds()) / 1000
+	res.P99MS = float64(percentile(latencies, 0.99).Microseconds()) / 1000
+
+	// Durability counters via the public metrics surface.
+	mresp, err := http.Get(ts.URL + "/v1/metrics?model=bench&t=1")
+	if err == nil {
+		var mr struct {
+			Server struct {
+				Durability *struct {
+					WALAppends int64   `json:"wal_appends"`
+					Snapshots  int64   `json:"snapshots"`
+					FsyncP99MS float64 `json:"fsync_p99_ms"`
+				} `json:"durability"`
+			} `json:"server"`
+		}
+		if derr := json.NewDecoder(mresp.Body).Decode(&mr); derr == nil && mr.Server.Durability != nil {
+			res.WALAppends = mr.Server.Durability.WALAppends
+			res.SnapshotCount = mr.Server.Durability.Snapshots
+			res.FsyncP99MS = mr.Server.Durability.FsyncP99MS
+		}
+		mresp.Body.Close()
+	}
+
+	// Kill without draining, then time a cold recovery of every session.
+	ts.Close()
+	srv2 := newSrv()
+	recStart := time.Now()
+	n, err := srv2.RecoverSessions()
+	if err != nil {
+		srv2.Close()
+		return res, fmt.Errorf("recover: %w", err)
+	}
+	res.RecoveryMS = float64(time.Since(recStart).Microseconds()) / 1000
+	res.Recoveries = int64(n)
+	srv2.Close()
+	return res, nil
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {

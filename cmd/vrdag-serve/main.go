@@ -14,7 +14,11 @@
 // POST /v1/generate/batch, POST /v1/ingest (observed edge streams →
 // named forecast sessions; GET lists, DELETE removes), POST /v1/forecast
 // and /v1/forecast/stream (conditioned generation), GET /v1/metrics,
-// GET /v1/models, GET /healthz. On SIGINT/SIGTERM the server stops admitting work,
+// GET /v1/models, GET /healthz. With -data-dir, forecast sessions are
+// durable: every ingest is WAL-appended and fsynced before it is
+// acknowledged, snapshots compact the log, and a restarted server
+// recovers all sessions — kill -9 included — with forecasts identical
+// to the pre-crash state. On SIGINT/SIGTERM the server stops admitting work,
 // signals in-flight streaming responses to finish the snapshot they are
 // on and append a truncation trailer, and drains everything within
 // -drain before exiting — connections are handed a well-formed end of
@@ -54,6 +58,10 @@ func main() {
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for draining in-flight (incl. streaming) responses")
 		quiet   = flag.Bool("quiet", false, "suppress training progress output")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
+		dataDir     = flag.String("data-dir", "", "persist forecast sessions under this directory (WAL + snapshots); empty keeps sessions in memory only")
+		snapEvery   = flag.Int("snapshot-every", 0, "compact a session's WAL into a snapshot every N ingests (0 = default 8; needs -data-dir)")
+		maxResident = flag.Int("max-resident", 0, "sessions kept decoded in memory; idler ones spill to disk (0 = no cap beyond -data-dir defaults)")
 	)
 	modelFlags := map[string]string{}
 	flag.Func("model", "checkpoint to serve, as name=path (repeatable)", func(v string) error {
@@ -68,6 +76,7 @@ func main() {
 	logger := log.New(os.Stderr, "vrdag-serve ", log.LstdFlags)
 	srv := server.New(server.Config{
 		Workers: *workers, Queue: *queue, MaxT: *maxT, Logger: logger,
+		DataDir: *dataDir, SnapshotEvery: *snapEvery, MaxResident: *maxResident,
 	})
 
 	for name, path := range modelFlags {
@@ -119,6 +128,16 @@ func main() {
 				logger.Fatalf("register %q: %v", name, err)
 			}
 		}
+	}
+
+	if *dataDir != "" {
+		// Recovery runs after every Register so persisted sessions can
+		// find their model; WAL tails past the last snapshot replay here.
+		n, err := srv.RecoverSessions()
+		if err != nil {
+			logger.Fatalf("recover sessions from %s: %v", *dataDir, err)
+		}
+		logger.Printf("data dir %s: recovered %d forecast session(s)", *dataDir, n)
 	}
 
 	if *pprof != "" {

@@ -93,6 +93,19 @@ type Config struct {
 	// bit-identical. Ignored when the scheduler is off.
 	CheckpointEvery int
 
+	// CheckpointPath, when non-empty, makes Fit write an atomic resume
+	// checkpoint (parameters, Adam moments, epoch and RNG cursor) after
+	// every CheckpointEveryEpochs completed epochs, and resume from that
+	// file when it exists at the next Fit. A run interrupted at any point
+	// and resumed produces Save bytes identical to an uninterrupted run
+	// (pinned by TestFitResumeBitIdentical); the file is removed when Fit
+	// completes. Like TrainWorkers this is a durability hint, not a model
+	// hyper-parameter: Save zeroes it.
+	CheckpointPath string
+	// CheckpointEveryEpochs is the epoch interval between resume
+	// checkpoints (default 1 when CheckpointPath is set).
+	CheckpointEveryEpochs int
+
 	// BiFlow toggles the bidirectional encoder (ablation switch; default
 	// true). UseSCE selects the scaled cosine error over MSE for attribute
 	// reconstruction (default true). UseTime2Vec toggles the temporal
@@ -177,6 +190,10 @@ type Model struct {
 
 	adam *nn.Adam
 	rng  *rand.Rand
+	// rngSrc counts every draw m.rng makes, giving resume checkpoints an
+	// absolute RNG cursor: fast-forwarding a fresh model's source to the
+	// saved count reproduces the interrupted run's stream bit for bit.
+	rngSrc *countingSource
 	// tape is reused across TBPTT windows and epochs; Tape.Reset returns
 	// every op output and gradient buffer to the pooled tensor arena, so
 	// steady-state training allocates almost nothing.
@@ -209,8 +226,9 @@ func New(cfg Config) *Model {
 	if cfg.N <= 0 {
 		panic(fmt.Sprintf("core: Config.N must be positive, got %d", cfg.N))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := &Model{Cfg: cfg, rng: rng}
+	src := &countingSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}
+	rng := rand.New(src)
+	m := &Model{Cfg: cfg, rng: rng, rngSrc: src}
 
 	m.enc = gnn.NewBiFlowEncoder("enc", gnn.BiFlowConfig{
 		InDim: cfg.F, Hidden: cfg.HiddenDim, OutDim: cfg.EncoderDim,

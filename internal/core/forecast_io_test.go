@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+)
+
+// TestForecastStateEncodeDecodeRoundTrip pins the durability contract the
+// serving layer's session spill/recovery builds on: a state that went
+// through encode→decode forecasts byte-identically to the live original,
+// and continues to absorb further snapshots identically.
+func TestForecastStateEncodeDecodeRoundTrip(t *testing.T) {
+	m := streamTestModel(t)
+	prefix := toyGraph(20, 2, 5, 37)
+	live, err := m.Encode(context.Background(), prefix)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	defer live.Release()
+
+	blob, err := EncodeForecastState(live)
+	if err != nil {
+		t.Fatalf("EncodeForecastState: %v", err)
+	}
+	restored, err := m.DecodeForecastState(blob)
+	if err != nil {
+		t.Fatalf("DecodeForecastState: %v", err)
+	}
+	defer restored.Release()
+	if restored.Steps() != live.Steps() {
+		t.Fatalf("restored steps %d, want %d", restored.Steps(), live.Steps())
+	}
+
+	opts := func() GenOptions { return GenOptions{T: 4, Source: rand.NewSource(91), Parallel: true} }
+	want, err := m.Forecast(context.Background(), live, opts())
+	if err != nil {
+		t.Fatalf("Forecast(live): %v", err)
+	}
+	got, err := m.Forecast(context.Background(), restored, opts())
+	if err != nil {
+		t.Fatalf("Forecast(restored): %v", err)
+	}
+	sameSequence(t, got, want, "decoded state forecast")
+
+	// The restored state keeps encoding in lockstep with the live one.
+	more := toyGraph(20, 2, 3, 53)
+	for _, snap := range more.Snapshots {
+		if err := m.EncodeSnapshot(live, snap); err != nil {
+			t.Fatalf("EncodeSnapshot(live): %v", err)
+		}
+		if err := m.EncodeSnapshot(restored, snap); err != nil {
+			t.Fatalf("EncodeSnapshot(restored): %v", err)
+		}
+	}
+	want2, err := m.Forecast(context.Background(), live, opts())
+	if err != nil {
+		t.Fatalf("Forecast(live, extended): %v", err)
+	}
+	got2, err := m.Forecast(context.Background(), restored, opts())
+	if err != nil {
+		t.Fatalf("Forecast(restored, extended): %v", err)
+	}
+	sameSequence(t, got2, want2, "decoded state after further encoding")
+}
+
+func TestForecastStateEncodeDecodeColdStart(t *testing.T) {
+	m := streamTestModel(t)
+	cold := m.NewForecastState()
+	defer cold.Release()
+	blob, err := EncodeForecastState(cold)
+	if err != nil {
+		t.Fatalf("EncodeForecastState(cold): %v", err)
+	}
+	restored, err := m.DecodeForecastState(blob)
+	if err != nil {
+		t.Fatalf("DecodeForecastState(cold): %v", err)
+	}
+	defer restored.Release()
+	opts := func() GenOptions { return GenOptions{T: 3, Source: rand.NewSource(7), Parallel: true} }
+	want, err := m.Forecast(context.Background(), cold, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Forecast(context.Background(), restored, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSequence(t, got, want, "cold round trip")
+}
+
+func TestDecodeForecastStateRejectsMismatches(t *testing.T) {
+	m := streamTestModel(t)
+	st := m.NewForecastState()
+	defer st.Release()
+	blob, err := EncodeForecastState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.DecodeForecastState([]byte("not gob")); err == nil {
+		t.Fatal("garbage bytes decoded")
+	}
+	// A model over a different universe must reject the state.
+	other := New(smallConfig(12, 2))
+	if _, err := other.DecodeForecastState(blob); err == nil {
+		t.Fatal("state for N=20 decoded into an N=12 model")
+	}
+
+	released := m.NewForecastState()
+	released.Release()
+	if _, err := EncodeForecastState(released); err == nil {
+		t.Fatal("released state encoded")
+	}
+	if _, err := EncodeForecastState(nil); err == nil {
+		t.Fatal("nil state encoded")
+	}
+}
+
+// TestForecastStatePersistenceEdgesSurvive ensures the temporal-persistence
+// snapshot (prev) round-trips: with no prev the decode must also have none.
+func TestForecastStatePersistenceEdgesSurvive(t *testing.T) {
+	m := streamTestModel(t)
+	st := m.NewForecastState()
+	defer st.Release()
+	snap := dyngraph.NewSnapshot(20, 0)
+	snap.AddEdge(1, 2)
+	snap.AddEdge(2, 3)
+	snap.AddEdge(17, 4)
+	if err := m.EncodeSnapshot(st, snap); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := EncodeForecastState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := m.DecodeForecastState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Release()
+	if restored.prev == nil {
+		t.Fatal("persistence snapshot lost in round trip")
+	}
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {17, 4}} {
+		if !restored.prev.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %d->%d missing from restored persistence snapshot", e[0], e[1])
+		}
+	}
+	if restored.prev.NumEdges() != st.prev.NumEdges() {
+		t.Fatalf("restored prev has %d edges, want %d", restored.prev.NumEdges(), st.prev.NumEdges())
+	}
+}

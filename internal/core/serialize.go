@@ -58,15 +58,15 @@ func (m *Model) Save(w io.Writer) error {
 		AttrCorrChol:  m.attrCorrChol,
 		AttrQuantiles: m.attrQuantiles,
 	}
-	// TrainWorkers, TapeSched, and CheckpointEvery are scheduling hints,
-	// not model hyper-parameters: a checkpoint trained with 8 workers, or
-	// with the scheduled tape executor and rematerialization, must be
-	// byte-identical to one trained sequentially on the plain executor
-	// (the invariance contracts pinned by the serialization tests), and
-	// must not pin execution details on whatever machine later loads it.
-	st.Cfg.TrainWorkers = 0
-	st.Cfg.TapeSched = 0
-	st.Cfg.CheckpointEvery = 0
+	// TrainWorkers, TapeSched, CheckpointEvery, and the resume-checkpoint
+	// settings are scheduling/durability hints, not model hyper-parameters:
+	// a checkpoint trained with 8 workers, with the scheduled tape executor
+	// and rematerialization, or resumed mid-run from a crash checkpoint
+	// must be byte-identical to one trained sequentially in a single
+	// uninterrupted pass (the invariance contracts pinned by the
+	// serialization tests), and must not pin execution details on whatever
+	// machine later loads it.
+	st.Cfg = stripVolatileCfg(st.Cfg)
 	seen := make(map[string]bool)
 	for _, p := range nn.CollectParams(m.Modules()...) {
 		if seen[p.Name] {

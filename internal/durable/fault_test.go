@@ -1,0 +1,208 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestWALCrashMatrix kills the write stream at every byte offset of a
+// multi-record WAL and asserts the recovery invariants: records
+// acknowledged before the crash always survive, the recovered records form
+// an exact prefix of the intended sequence, and the recovered log accepts
+// new appends that replay cleanly.
+func TestWALCrashMatrix(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first-record"),
+		[]byte("second"),
+		{},
+		[]byte("fourth record, a bit longer than the others"),
+	}
+	var total int64
+	for _, p := range payloads {
+		total += int64(frameHeader + len(p))
+	}
+	for _, torn := range []bool{false, true} {
+		for budget := int64(0); budget <= total; budget++ {
+			name := fmt.Sprintf("torn=%v/budget=%d", torn, budget)
+			dir := t.TempDir()
+			ffs := NewFaultFS(OS, Fault{WriteBudget: budget, Torn: torn})
+
+			w, err := OpenWAL(ffs, dir, 1, 1)
+			if err != nil {
+				t.Fatalf("%s: open: %v", name, err)
+			}
+			acked := 0
+			for _, p := range payloads {
+				if _, err := w.Append(p); err != nil {
+					break // crash point
+				}
+				acked++
+			}
+			w.Close()
+
+			// "Restart": replay on the pristine filesystem.
+			var got [][]byte
+			lastSeq, _, err := ReplayWAL(OS, WALPath(dir, 1), 0, func(seq uint64, payload []byte) error {
+				got = append(got, append([]byte(nil), payload...))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s: replay: %v", name, err)
+			}
+			if len(got) < acked {
+				t.Fatalf("%s: %d records acked but only %d recovered", name, acked, len(got))
+			}
+			// An unacknowledged record may still have landed whole if the
+			// write went through and only a later op failed — but never more
+			// than the one in flight, and always an exact prefix.
+			if len(got) > acked+1 {
+				t.Fatalf("%s: recovered %d records with only %d acked", name, len(got), acked)
+			}
+			for i, p := range got {
+				if !bytes.Equal(p, payloads[i]) {
+					t.Fatalf("%s: record %d = %q, want %q", name, i, p, payloads[i])
+				}
+			}
+			if lastSeq != uint64(len(got)) {
+				t.Fatalf("%s: lastSeq=%d with %d records", name, lastSeq, len(got))
+			}
+
+			// Post-recovery appends work and replay to prefix+new.
+			w2, err := OpenWAL(OS, dir, 1, lastSeq+1)
+			if err != nil {
+				t.Fatalf("%s: reopen: %v", name, err)
+			}
+			if _, err := w2.Append([]byte("resumed")); err != nil {
+				t.Fatalf("%s: append after recovery: %v", name, err)
+			}
+			w2.Close()
+			var again [][]byte
+			_, torn2, err := ReplayWAL(OS, WALPath(dir, 1), 0, func(seq uint64, payload []byte) error {
+				again = append(again, append([]byte(nil), payload...))
+				return nil
+			})
+			if err != nil || torn2 {
+				t.Fatalf("%s: post-recovery replay torn=%v err=%v", name, torn2, err)
+			}
+			if len(again) != len(got)+1 || !bytes.Equal(again[len(again)-1], []byte("resumed")) {
+				t.Fatalf("%s: post-recovery log has %d records, want %d", name, len(again), len(got)+1)
+			}
+		}
+	}
+}
+
+// TestWriteFileAtomicCrashMatrix crashes an atomic snapshot write at every
+// byte offset and asserts the target is always either absent/old or the
+// complete new contents — never a prefix.
+func TestWriteFileAtomicCrashMatrix(t *testing.T) {
+	old := []byte("previous snapshot contents")
+	next := []byte("the new snapshot, longer than the previous one")
+	for _, haveOld := range []bool{false, true} {
+		for budget := int64(0); budget <= int64(len(next)); budget++ {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.snap")
+			if haveOld {
+				if err := os.WriteFile(path, old, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ffs := NewFaultFS(OS, Fault{WriteBudget: budget, Torn: true})
+			err := WriteFileAtomic(ffs, path, next)
+			got, rerr := os.ReadFile(path)
+			switch {
+			case err == nil:
+				if rerr != nil || !bytes.Equal(got, next) {
+					t.Fatalf("haveOld=%v budget=%d: success but target %q", haveOld, budget, got)
+				}
+			case haveOld:
+				if rerr != nil || !bytes.Equal(got, old) {
+					t.Fatalf("haveOld=%v budget=%d: failed write must keep old bytes, got %q", haveOld, budget, got)
+				}
+			default:
+				if !os.IsNotExist(rerr) {
+					t.Fatalf("budget=%d: failed first write left target behind: %q err=%v", budget, got, rerr)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteFileAtomicRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS, Fault{WriteBudget: -1, FailRenames: 1})
+	if err := WriteFileAtomic(ffs, path, []byte("new")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "old" {
+		t.Fatalf("target after failed rename: %q err %v", got, err)
+	}
+}
+
+func TestFaultFSFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Fault{WriteBudget: -1, FailWrites: 3})
+	w, err := OpenWAL(ffs, dir, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte("rec")); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			break
+		}
+		ok++
+	}
+	w.Close()
+	if ok != 2 {
+		t.Fatalf("acked %d appends before the 3rd write failed, want 2", ok)
+	}
+	if !ffs.Tripped() {
+		t.Fatal("fault did not report tripped")
+	}
+}
+
+func TestFaultFSENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Fault{WriteBudget: 20, Err: syscall.ENOSPC})
+	w, err := OpenWAL(ffs, dir, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append([]byte("fits")); err != nil {
+		t.Fatalf("first append within budget: %v", err)
+	}
+	_, err = w.Append([]byte("this one does not fit"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+}
+
+func TestFaultFSFailSyncs(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Fault{WriteBudget: -1, FailSyncs: 2})
+	w, err := OpenWAL(ffs, dir, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append([]byte("a")); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if _, err := w.Append([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second append err = %v, want injected sync failure", err)
+	}
+}

@@ -1,0 +1,232 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WAL frame layout (little-endian), one frame per Append:
+//
+//	offset 0:  uint32  payload length
+//	offset 4:  uint64  sequence number (monotonic within a session)
+//	offset 12: uint32  CRC32C over the sequence bytes and the payload
+//	offset 16: payload
+//
+// The length field is validated against maxFramePayload and the bytes
+// remaining in the file; the CRC detects torn or bit-rotted frames; the
+// sequence number must strictly increase within a file, which catches a
+// log appended past an un-truncated torn tail. The first frame failing any
+// check ends replay — everything before it is the recovered prefix,
+// everything from it on is the torn tail and is truncated away.
+
+const (
+	frameHeader = 16
+	// maxFramePayload bounds one record; anything larger in a length field
+	// is treated as corruption, not an allocation request.
+	maxFramePayload = 1 << 30
+)
+
+var crc32c = crc32.MakeTable(crc32.Castagnoli)
+
+// WALPath returns the log file path of one generation.
+func WALPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal.%08d", gen))
+}
+
+// ParseWALGen extracts the generation from a WAL file name ("wal.00000002"
+// → 2); ok is false for any other name.
+func ParseWALGen(name string) (uint64, bool) {
+	rest, found := strings.CutPrefix(name, "wal.")
+	if !found {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// ListWALGens returns the generations present in dir, ascending.
+func ListWALGens(fsys FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if gen, ok := ParseWALGen(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// WAL is an append-only log handle for one generation file. Not safe for
+// concurrent use; callers serialize appends (the serving layer holds the
+// session write lock).
+type WAL struct {
+	fsys    FS
+	path    string
+	gen     uint64
+	f       File
+	nextSeq uint64
+	// OnSync, when set, observes the duration of every fsync issued by
+	// Append — the durability tax, surfaced as a latency histogram on the
+	// serving metrics endpoint.
+	OnSync func(time.Duration)
+}
+
+// OpenWAL opens (creating if absent) the log file of the given generation
+// for appending. nextSeq is the sequence number the next Append will
+// stamp; callers derive it from the snapshot position plus whatever
+// ReplayWAL recovered.
+func OpenWAL(fsys FS, dir string, gen, nextSeq uint64) (*WAL, error) {
+	path := WALPath(dir, gen)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open wal %s: %w", path, err)
+	}
+	return &WAL{fsys: fsys, path: path, gen: gen, f: f, nextSeq: nextSeq}, nil
+}
+
+// Gen returns the generation this handle appends to.
+func (w *WAL) Gen() uint64 { return w.gen }
+
+// NextSeq returns the sequence number the next Append will stamp.
+func (w *WAL) NextSeq() uint64 { return w.nextSeq }
+
+// Append frames payload, writes it, and fsyncs. It returns the record's
+// sequence number only after the fsync succeeds — an acknowledged append
+// is durable. On error nothing is acknowledged: the frame may be partially
+// on disk (a torn tail), which the next replay truncates away.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxFramePayload {
+		return 0, fmt.Errorf("durable: wal record of %d bytes exceeds the %d byte frame limit", len(payload), maxFramePayload)
+	}
+	seq := w.nextSeq
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[4:12], seq)
+	sum := crc32.Checksum(frame[4:12], crc32c)
+	sum = crc32.Update(sum, crc32c, payload)
+	binary.LittleEndian.PutUint32(frame[12:16], sum)
+	copy(frame[frameHeader:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("durable: wal append: %w", err)
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return 0, fmt.Errorf("durable: wal fsync: %w", err)
+	}
+	if w.OnSync != nil {
+		w.OnSync(time.Since(start))
+	}
+	w.nextSeq = seq + 1
+	return seq, nil
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// ReplayWAL reads the log at path, invoking apply for every valid frame
+// whose sequence exceeds afterSeq, in order. Replay ends at EOF or at the
+// first invalid frame (short header, absurd length, CRC mismatch,
+// non-increasing sequence); in the latter case the torn tail is truncated
+// in place so later appends cannot bury unreadable bytes under valid
+// frames. It returns the last valid sequence seen (0 if the file is empty
+// or absent) and whether a torn tail was truncated. Frames at or below
+// afterSeq are skipped but still validated — they are part of the prefix
+// integrity the CRC chain vouches for.
+func ReplayWAL(fsys FS, path string, afterSeq uint64, apply func(seq uint64, payload []byte) error) (lastSeq uint64, torn bool, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("durable: open wal %s: %w", path, err)
+	}
+	br := bufio.NewReader(f)
+	var (
+		validOff int64
+		header   [frameHeader]byte
+		prevSeq  uint64
+		havePrev bool
+	)
+	for {
+		_, rerr := io.ReadFull(br, header[:])
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil { // short header: torn tail
+			torn = true
+			break
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		seq := binary.LittleEndian.Uint64(header[4:12])
+		want := binary.LittleEndian.Uint32(header[12:16])
+		if length > maxFramePayload || (havePrev && seq <= prevSeq) {
+			torn = true
+			break
+		}
+		payload := make([]byte, length)
+		if _, rerr := io.ReadFull(br, payload); rerr != nil {
+			torn = true
+			break
+		}
+		sum := crc32.Checksum(header[4:12], crc32c)
+		sum = crc32.Update(sum, crc32c, payload)
+		if sum != want {
+			torn = true
+			break
+		}
+		validOff += int64(frameHeader) + int64(length)
+		prevSeq, havePrev = seq, true
+		lastSeq = seq
+		if seq > afterSeq && apply != nil {
+			if aerr := apply(seq, payload); aerr != nil {
+				f.Close()
+				return lastSeq, torn, aerr
+			}
+		}
+	}
+	if cerr := f.Close(); cerr != nil {
+		return lastSeq, torn, cerr
+	}
+	if torn {
+		if terr := fsys.Truncate(path, validOff); terr != nil {
+			return lastSeq, torn, fmt.Errorf("durable: truncate torn wal tail %s@%d: %w", path, validOff, terr)
+		}
+		// Make the truncation itself durable before anyone appends.
+		tf, terr := fsys.OpenFile(path, os.O_WRONLY, 0)
+		if terr != nil {
+			return lastSeq, torn, terr
+		}
+		serr := tf.Sync()
+		cerr := tf.Close()
+		if serr != nil {
+			return lastSeq, torn, serr
+		}
+		if cerr != nil {
+			return lastSeq, torn, cerr
+		}
+	}
+	return lastSeq, torn, nil
+}

@@ -1,0 +1,248 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendAll(t *testing.T, w *WAL, payloads [][]byte) []uint64 {
+	t.Helper()
+	seqs := make([]uint64, 0, len(payloads))
+	for i, p := range payloads {
+		seq, err := w.Append(p)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs
+}
+
+func collectReplay(t *testing.T, fsys FS, path string, afterSeq uint64) (seqs []uint64, payloads [][]byte, lastSeq uint64, torn bool) {
+	t.Helper()
+	lastSeq, torn, err := ReplayWAL(fsys, path, afterSeq, func(seq uint64, payload []byte) error {
+		seqs = append(seqs, seq)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return seqs, payloads, lastSeq, torn
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(OS, dir, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma with a longer payload"), {0x00, 0xff, 0x10}}
+	seqs := appendAll(t, w, want)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d, want %d", i, s, i+1)
+		}
+	}
+
+	gotSeqs, got, lastSeq, torn := collectReplay(t, OS, WALPath(dir, 1), 0)
+	if torn {
+		t.Fatal("unexpected torn tail on a clean log")
+	}
+	if lastSeq != uint64(len(want)) {
+		t.Fatalf("lastSeq = %d, want %d", lastSeq, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if gotSeqs[i] != seqs[i] || !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: seq %d payload %q, want seq %d payload %q", i, gotSeqs[i], got[i], seqs[i], want[i])
+		}
+	}
+
+	// afterSeq skips the prefix.
+	gotSeqs, got, _, _ = collectReplay(t, OS, WALPath(dir, 1), 2)
+	if len(got) != 2 || gotSeqs[0] != 3 || !bytes.Equal(got[1], want[3]) {
+		t.Fatalf("afterSeq=2 replay: seqs %v payloads %q", gotSeqs, got)
+	}
+}
+
+func TestWALReplayMissingFile(t *testing.T) {
+	lastSeq, torn, err := ReplayWAL(OS, filepath.Join(t.TempDir(), "wal.00000001"), 0, nil)
+	if err != nil || torn || lastSeq != 0 {
+		t.Fatalf("missing file: lastSeq=%d torn=%v err=%v", lastSeq, torn, err)
+	}
+}
+
+func TestWALTornTailTruncatedAndAppendable(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(OS, dir, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("one"), []byte("two"), []byte("three")})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := WALPath(dir, 1)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fi.Size()
+
+	// Tear the last record at every possible interior offset.
+	lastStart := full - int64(frameHeader+len("three"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := lastStart + 1; cut < full; cut++ {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		seqs, _, lastSeq, torn := collectReplay(t, OS, path, 0)
+		if !torn {
+			t.Fatalf("cut=%d: expected torn tail", cut)
+		}
+		if lastSeq != 2 || len(seqs) != 2 {
+			t.Fatalf("cut=%d: recovered lastSeq=%d seqs=%v, want prefix of 2", cut, lastSeq, seqs)
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() != lastStart {
+			t.Fatalf("cut=%d: file not truncated to %d (size %d, err %v)", cut, lastStart, fi.Size(), err)
+		}
+		// The recovered log accepts new appends and replays cleanly.
+		w2, err := OpenWAL(OS, dir, 1, lastSeq+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w2.Append([]byte("after-recovery")); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seqs, payloads, lastSeq2, torn2 := collectReplay(t, OS, path, 0)
+		if torn2 || lastSeq2 != 3 || len(seqs) != 3 || !bytes.Equal(payloads[2], []byte("after-recovery")) {
+			t.Fatalf("cut=%d: post-recovery replay seqs=%v torn=%v", cut, seqs, torn2)
+		}
+		// Restore the torn original for the next iteration.
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWALCorruptInteriorByteEndsReplayThere(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(OS, dir, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cccc")})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := WALPath(dir, 7)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the middle record.
+	mid := frameHeader + 4 + frameHeader + 1
+	raw[mid] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _, lastSeq, torn := collectReplay(t, OS, path, 0)
+	if !torn || lastSeq != 1 || len(seqs) != 1 {
+		t.Fatalf("corrupt middle: seqs=%v lastSeq=%d torn=%v, want prefix of 1", seqs, lastSeq, torn)
+	}
+}
+
+func TestWALNonMonotonicSeqEndsReplay(t *testing.T) {
+	dir := t.TempDir()
+	// Two separate appenders stamping the same sequence — e.g. a log
+	// appended past an un-truncated tail. Replay must stop at the repeat.
+	w, err := OpenWAL(OS, dir, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("x")})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err = OpenWAL(OS, dir, 1, 5) // same seq again
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]byte{[]byte("y")})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, payloads, lastSeq, torn := collectReplay(t, OS, WALPath(dir, 1), 0)
+	if !torn || lastSeq != 5 || len(seqs) != 1 || !bytes.Equal(payloads[0], []byte("x")) {
+		t.Fatalf("duplicate seq: seqs=%v torn=%v", seqs, torn)
+	}
+}
+
+func TestParseWALGenAndList(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  uint64
+		ok   bool
+	}{
+		{"wal.00000001", 1, true},
+		{"wal.00012345", 12345, true},
+		{"wal.x", 0, false},
+		{"state.snap", 0, false},
+		{"wal.", 0, false},
+	} {
+		gen, ok := ParseWALGen(tc.name)
+		if ok != tc.ok || gen != tc.gen {
+			t.Errorf("ParseWALGen(%q) = %d,%v want %d,%v", tc.name, gen, ok, tc.gen, tc.ok)
+		}
+	}
+
+	dir := t.TempDir()
+	for _, gen := range []uint64{3, 1, 2} {
+		if err := os.WriteFile(WALPath(dir, gen), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := ListWALGens(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gens) != "[1 2 3]" {
+		t.Fatalf("ListWALGens = %v", gens)
+	}
+}
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := WriteFileAtomic(OS, path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OS, path, []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(OS, path)
+	if err != nil || string(got) != "v2-longer" {
+		t.Fatalf("read back %q err %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+}

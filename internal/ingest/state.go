@@ -1,0 +1,163 @@
+package ingest
+
+import (
+	"fmt"
+)
+
+// Durable Stream serialization: a forecast session's ingest cursor must
+// survive restarts alongside its ForecastState, or a recovered session
+// would lose its node-ID mapping, window clock, attribute carry, and the
+// half-built window under construction. State/RestoreStream capture and
+// rebuild all of it; restored cursors fold subsequent records exactly as
+// the original would have (pinned by TestStreamStateRoundTrip).
+
+// StreamState is a gob-friendly snapshot of a Stream cursor. All fields
+// are exported copies; mutating a StreamState never touches the Stream it
+// came from.
+type StreamState struct {
+	Opts   Options
+	Format Format
+
+	Nodes  map[string]int
+	NextID int
+	Frozen bool
+
+	LastAttr  []float64
+	HaveAttr  []bool
+	HasOrigin bool
+	Origin    float64
+	Window    int64
+
+	// The window under construction, if any: out-adjacency plus the
+	// attribute matrix. In lists, edge counts, and sorted-neighbour
+	// invariants are rebuilt by AddEdge on restore.
+	HasCur   bool
+	CurOut   [][]int
+	CurX     []float64
+	CurXRows int
+	CurXCols int
+
+	HeaderChecked bool
+	Header        string
+
+	Lines   int64
+	Edges   int64
+	Records int64
+	Dropped int64
+	Sealed  int64
+}
+
+// State captures the cursor, including any window under construction.
+func (s *Stream) State() *StreamState {
+	st := &StreamState{
+		Opts:          s.opts,
+		Format:        s.format,
+		Nodes:         make(map[string]int, len(s.nodes)),
+		NextID:        s.nextID,
+		Frozen:        s.frozen,
+		LastAttr:      append([]float64(nil), s.lastAttr...),
+		HaveAttr:      append([]bool(nil), s.haveAttr...),
+		HasOrigin:     s.hasOrigin,
+		Origin:        s.origin,
+		Window:        s.window,
+		HeaderChecked: s.headerChecked,
+		Header:        s.header,
+		Lines:         s.lines,
+		Edges:         s.edges,
+		Records:       s.records,
+		Dropped:       s.dropped,
+		Sealed:        s.sealed,
+	}
+	// Options.Nodes aliases caller memory; the live mapping below is the
+	// authoritative copy, so drop the alias from the serialized options.
+	st.Opts.Nodes = nil
+	for id, idx := range s.nodes {
+		st.Nodes[id] = idx
+	}
+	if s.cur != nil {
+		st.HasCur = true
+		st.CurOut = s.cur.Out
+		if s.cur.X != nil {
+			st.CurXRows = s.cur.X.Rows
+			st.CurXCols = s.cur.X.Cols
+			st.CurX = append([]float64(nil), s.cur.X.Data...)
+		}
+	}
+	return st
+}
+
+// RestoreStream rebuilds a cursor from a captured state. The returned
+// Stream continues folding exactly where the original stood: same node
+// mapping, window clock, attribute carry, and pending window.
+func RestoreStream(st *StreamState) (*Stream, error) {
+	if st == nil {
+		return nil, fmt.Errorf("ingest: RestoreStream on a nil state")
+	}
+	opts := st.Opts.withDefaults()
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("ingest: restored state has N=%d", opts.N)
+	}
+	if opts.F < 0 {
+		return nil, fmt.Errorf("ingest: restored state has F=%d", opts.F)
+	}
+	s := &Stream{
+		opts:          opts,
+		format:        st.Format,
+		nodes:         make(map[string]int, len(st.Nodes)),
+		nextID:        st.NextID,
+		frozen:        st.Frozen,
+		hasOrigin:     st.HasOrigin,
+		origin:        st.Origin,
+		window:        st.Window,
+		headerChecked: st.HeaderChecked,
+		header:        st.Header,
+		lines:         st.Lines,
+		edges:         st.Edges,
+		records:       st.Records,
+		dropped:       st.Dropped,
+		sealed:        st.Sealed,
+	}
+	for id, idx := range st.Nodes {
+		if idx < 0 || idx >= opts.N {
+			return nil, fmt.Errorf("ingest: restored node %q maps to %d, outside 0..%d", id, idx, opts.N-1)
+		}
+		s.nodes[id] = idx
+	}
+	if opts.F > 0 {
+		s.lastAttr = make([]float64, opts.N*opts.F)
+		s.haveAttr = make([]bool, opts.N)
+		if st.LastAttr != nil {
+			if len(st.LastAttr) != len(s.lastAttr) || len(st.HaveAttr) != len(s.haveAttr) {
+				return nil, fmt.Errorf("ingest: restored attribute carry has %d/%d entries, want %d/%d",
+					len(st.LastAttr), len(st.HaveAttr), len(s.lastAttr), len(s.haveAttr))
+			}
+			copy(s.lastAttr, st.LastAttr)
+			copy(s.haveAttr, st.HaveAttr)
+		}
+	}
+	if st.HasCur {
+		if len(st.CurOut) > opts.N {
+			return nil, fmt.Errorf("ingest: restored pending window spans %d nodes, universe is %d", len(st.CurOut), opts.N)
+		}
+		cur := s.newSnapshot()
+		for u, outs := range st.CurOut {
+			for _, v := range outs {
+				if v < 0 || v >= opts.N {
+					cur.Recycle()
+					return nil, fmt.Errorf("ingest: restored pending window has edge %d->%d outside the %d-node universe", u, v, opts.N)
+				}
+				cur.AddEdge(u, v)
+			}
+		}
+		if st.CurX != nil {
+			if cur.X == nil || st.CurXRows != cur.X.Rows || st.CurXCols != cur.X.Cols || len(st.CurX) != st.CurXRows*st.CurXCols {
+				cur.Recycle()
+				return nil, fmt.Errorf("ingest: restored pending window attrs are %dx%d (%d values), stream wants %dx%d",
+					st.CurXRows, st.CurXCols, len(st.CurX), opts.N, opts.F)
+			}
+			copy(cur.X.Data, st.CurX)
+		}
+		s.cur = cur
+	}
+	return s, nil
+}

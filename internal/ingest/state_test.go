@@ -1,0 +1,153 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"vrdag/internal/dyngraph"
+)
+
+func sameSnapshots(t *testing.T, got, want []*dyngraph.Snapshot, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d snapshots, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.NumEdges() != w.NumEdges() {
+			t.Fatalf("%s: snapshot %d has %d edges, want %d", label, i, g.NumEdges(), w.NumEdges())
+		}
+		for u := 0; u < w.N; u++ {
+			for _, v := range w.Out[u] {
+				if !g.HasEdge(u, v) {
+					t.Fatalf("%s: snapshot %d missing edge %d->%d", label, i, u, v)
+				}
+			}
+		}
+		if (g.X == nil) != (w.X == nil) {
+			t.Fatalf("%s: snapshot %d attr presence mismatch", label, i)
+		}
+		if w.X != nil {
+			for j := range w.X.Data {
+				if g.X.Data[j] != w.X.Data[j] {
+					t.Fatalf("%s: snapshot %d attr %d: %v vs %v", label, i, j, g.X.Data[j], w.X.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamStateRoundTrip cuts one logical edge stream at an arbitrary
+// byte boundary (mid-window, after attributes and node mapping have
+// accumulated), captures the cursor, gob-round-trips it, and folds the
+// remainder through both the original and the restored cursor. Output and
+// counters must be identical — this is the contract session recovery
+// stands on.
+func TestStreamStateRoundTrip(t *testing.T) {
+	const head = "a,b,0.5,1.5,2.5\n" +
+		"b,c,0.9\n" +
+		"c,a,1.2,0.25,0.75\n" +
+		"a,c,2.6\n"
+	const tail = "b,a,2.9,9,10\n" +
+		"d,a,3.4\n" +
+		"a,d,5.1\n"
+	opts := Options{N: 6, F: 2, Window: 1, CarryAttrs: true}
+
+	mk := func() (*Stream, *[]*dyngraph.Snapshot, func(*dyngraph.Snapshot) error) {
+		s, err := NewStream(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sealed []*dyngraph.Snapshot
+		return s, &sealed, func(snap *dyngraph.Snapshot) error {
+			sealed = append(sealed, snap)
+			return nil
+		}
+	}
+
+	orig, origSealed, origEmit := mk()
+	if err := orig.Fold(strings.NewReader(head), origEmit); err != nil {
+		t.Fatalf("fold head: %v", err)
+	}
+	headSealed := len(*origSealed)
+	if !orig.PendingWindow() {
+		t.Fatal("test premise: the cut must land mid-window")
+	}
+
+	// Capture and round-trip the cursor through gob, as the session
+	// snapshot file does.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig.State()); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var wire StreamState
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&wire); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	restored, err := RestoreStream(&wire)
+	if err != nil {
+		t.Fatalf("RestoreStream: %v", err)
+	}
+	if !restored.PendingWindow() {
+		t.Fatal("restored cursor lost the pending window")
+	}
+	if restored.NodesSeen() != orig.NodesSeen() || restored.Edges() != orig.Edges() || restored.Snapshots() != orig.Snapshots() {
+		t.Fatalf("restored counters diverge: nodes %d/%d edges %d/%d sealed %d/%d",
+			restored.NodesSeen(), orig.NodesSeen(), restored.Edges(), orig.Edges(), restored.Snapshots(), orig.Snapshots())
+	}
+
+	var restoredSealed []*dyngraph.Snapshot
+	restoredEmit := func(snap *dyngraph.Snapshot) error {
+		restoredSealed = append(restoredSealed, snap)
+		return nil
+	}
+	for _, cont := range []struct {
+		s    *Stream
+		emit func(*dyngraph.Snapshot) error
+	}{{orig, origEmit}, {restored, restoredEmit}} {
+		if err := cont.s.Fold(strings.NewReader(tail), cont.emit); err != nil {
+			t.Fatalf("fold tail: %v", err)
+		}
+		if err := cont.s.Flush(cont.emit); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	sameSnapshots(t, restoredSealed, (*origSealed)[headSealed:], "restored vs original")
+	if restored.Records() != orig.Records() || restored.Dropped() != orig.Dropped() {
+		t.Fatalf("post-tail counters diverge: records %d/%d dropped %d/%d",
+			restored.Records(), orig.Records(), restored.Dropped(), orig.Dropped())
+	}
+
+	// Both cursors must agree on the node mapping the tail extended.
+	for _, id := range []string{"a", "b", "c", "d"} {
+		oi, ook := orig.NodeIndex(id)
+		ri, rok := restored.NodeIndex(id)
+		if ook != rok || oi != ri {
+			t.Fatalf("node %q maps to %d/%v restored vs %d/%v original", id, ri, rok, oi, ook)
+		}
+	}
+}
+
+func TestRestoreStreamRejectsCorruptState(t *testing.T) {
+	if _, err := RestoreStream(nil); err == nil {
+		t.Fatal("nil state restored")
+	}
+	if _, err := RestoreStream(&StreamState{Opts: Options{N: 0}}); err == nil {
+		t.Fatal("N=0 state restored")
+	}
+	if _, err := RestoreStream(&StreamState{
+		Opts:  Options{N: 4},
+		Nodes: map[string]int{"x": 9},
+	}); err == nil {
+		t.Fatal("out-of-range node mapping restored")
+	}
+	if _, err := RestoreStream(&StreamState{
+		Opts:   Options{N: 4},
+		HasCur: true,
+		CurOut: [][]int{{1, 7}},
+	}); err == nil {
+		t.Fatal("pending window with out-of-universe edge restored")
+	}
+}

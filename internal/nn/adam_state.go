@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AdamMoments is one parameter's optimizer state: the first and second
+// moment estimates, flattened row-major. Exported fields make the struct
+// gob-encodable for training checkpoints.
+type AdamMoments struct {
+	Name string
+	M    []float64
+	V    []float64
+}
+
+// AdamState is a serializable snapshot of an optimizer: the step counter
+// and every parameter's moments, name-sorted so encoding is byte
+// deterministic. Pending (un-Stepped) gradient accumulations are NOT part
+// of the state — capture it only at a step boundary, where they are zero.
+type AdamState struct {
+	T       int
+	Moments []AdamMoments
+}
+
+// State captures the optimizer's step counter and per-parameter moments.
+// The returned slices are copies; mutating them does not touch the
+// optimizer.
+func (a *Adam) State() AdamState {
+	st := AdamState{T: a.t, Moments: make([]AdamMoments, 0, len(a.params))}
+	for _, p := range a.params {
+		st.Moments = append(st.Moments, AdamMoments{
+			Name: p.Name,
+			M:    append([]float64(nil), p.m.Data...),
+			V:    append([]float64(nil), p.v.Data...),
+		})
+	}
+	sort.Slice(st.Moments, func(i, j int) bool { return st.Moments[i].Name < st.Moments[j].Name })
+	return st
+}
+
+// Restore overwrites the optimizer's step counter and moments from a
+// captured state. Every optimizer parameter must appear in st with
+// matching element count; parameter values themselves are restored
+// separately (core.Load handles model weights).
+func (a *Adam) Restore(st AdamState) error {
+	byName := make(map[string]*AdamMoments, len(st.Moments))
+	for i := range st.Moments {
+		m := &st.Moments[i]
+		if _, dup := byName[m.Name]; dup {
+			return fmt.Errorf("nn: Adam state has duplicate parameter %q", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	for _, p := range a.params {
+		m, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: Adam state is missing parameter %q", p.Name)
+		}
+		if len(m.M) != len(p.m.Data) || len(m.V) != len(p.v.Data) {
+			return fmt.Errorf("nn: Adam state for %q has %d/%d moment elements, want %d", p.Name, len(m.M), len(m.V), len(p.m.Data))
+		}
+	}
+	if len(byName) != len(a.params) {
+		return fmt.Errorf("nn: Adam state has %d parameters, optimizer has %d", len(byName), len(a.params))
+	}
+	for _, p := range a.params {
+		m := byName[p.Name]
+		copy(p.m.Data, m.M)
+		copy(p.v.Data, m.V)
+	}
+	a.t = st.T
+	return nil
+}

@@ -1,0 +1,675 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vrdag/internal/core"
+	"vrdag/internal/durable"
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/ingest"
+)
+
+// Session durability. When Config.DataDir is set, every forecast session
+// is backed by a directory <DataDir>/sessions/<name> holding:
+//
+//	meta.json   — model name and stream options (written once at creation)
+//	state.snap  — atomic snapshot of the encoded ForecastState, the ingest
+//	              cursor, and the WAL position it covers
+//	wal.<gen>   — CRC32C-framed log of raw ingest request bodies
+//
+// The contract is durable's "state = snapshot + WAL tail": every
+// /v1/ingest body is appended (and fsynced) to the session WAL *before*
+// it is folded into memory, so an acknowledged ingest survives a kill
+// at any instant. Folding is deterministic — same bytes, same cursor,
+// same state — so replaying the WAL tail on top of the last snapshot
+// reconstructs the pre-crash session exactly, and a forecast from the
+// recovered state is byte-identical to one from the live state.
+//
+// Every SnapshotEvery appends the session compacts: the full state is
+// written with WriteFileAtomic recording the log position, the WAL
+// rotates to a fresh generation, and superseded generations are removed.
+// The same snapshot path lets idle sessions spill out of RAM entirely
+// (MaxResident cap, TTL idleness) and lazily reload on next use.
+//
+// A failed persistence write latches the server into degraded read-only
+// mode: ingest is refused with 503 + Retry-After (accepting writes that
+// cannot be made durable would silently break the recovery contract),
+// while forecasts — which only read — keep serving. The latch is
+// surfaced on /v1/metrics and /healthz; restarting the process after
+// fixing the disk clears it through the normal recovery path.
+
+const (
+	sessionMetaFile = "meta.json"
+	sessionSnapFile = "state.snap"
+)
+
+// sessionMeta records what recovery needs before any snapshot exists:
+// which model the session belongs to and the stream options it was
+// created with.
+type sessionMeta struct {
+	Model       string  `json:"model"`
+	Window      float64 `json:"window"`
+	DropUnknown bool    `json:"drop_unknown,omitempty"`
+	Carry       bool    `json:"carry"`
+}
+
+// walRecord is one WAL frame payload: the raw ingest request body plus
+// the per-request flush flag, i.e. exactly the inputs handleIngestPost
+// feeds the stream cursor. Replay re-runs the same Fold/Flush calls.
+type walRecord struct {
+	Body  []byte
+	Flush bool
+}
+
+// sessionSnap is the state.snap payload. Gen/Seq are the WAL position
+// the snapshot covers: recovery replays generations >= Gen applying
+// frames with sequence > Seq.
+type sessionSnap struct {
+	Gen      uint64
+	Seq      uint64
+	Forecast []byte // core.EncodeForecastState bytes
+	Stream   *ingest.StreamState
+}
+
+// errSpilled marks the benign race where a session is spilled between a
+// handler's reload and its read-lock; the client retries.
+var errSpilled = errors.New("session spilled to disk mid-request; retry")
+
+// durStats aggregates durability counters for /v1/metrics. Fsync
+// latencies land in a bounded ring so percentiles reflect recent
+// behaviour without unbounded memory.
+type durStats struct {
+	walAppends atomic.Int64
+	snapshots  atomic.Int64
+	recoveries atomic.Int64
+	tornTails  atomic.Int64
+	spills     atomic.Int64
+	reloads    atomic.Int64
+
+	mu         sync.Mutex
+	fsyncCount int64
+	ring       []time.Duration
+	pos        int
+}
+
+// fsyncRing bounds the latency samples kept for percentile estimates.
+const fsyncRing = 4096
+
+func (d *durStats) observeFsync(e time.Duration) {
+	d.mu.Lock()
+	if len(d.ring) < fsyncRing {
+		d.ring = append(d.ring, e)
+	} else {
+		d.ring[d.pos] = e
+		d.pos = (d.pos + 1) % fsyncRing
+	}
+	d.fsyncCount++
+	d.mu.Unlock()
+}
+
+// fsyncQuantiles reports the sample count and the p50/p99 of the recent
+// fsync latency window, in milliseconds.
+func (d *durStats) fsyncQuantiles() (count int64, p50, p99 float64) {
+	d.mu.Lock()
+	count = d.fsyncCount
+	buf := append([]time.Duration(nil), d.ring...)
+	d.mu.Unlock()
+	if len(buf) == 0 {
+		return count, 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	q := func(p float64) float64 {
+		i := int(p*float64(len(buf)-1) + 0.5)
+		return float64(buf[i].Microseconds()) / 1000
+	}
+	return count, q(0.50), q(0.99)
+}
+
+// durable reports whether session persistence is enabled.
+func (s *Server) durable() bool { return s.cfg.DataDir != "" }
+
+func (s *Server) sessionDir(name string) string {
+	return filepath.Join(s.cfg.DataDir, "sessions", name)
+}
+
+// setDegraded latches the read-only mode, keeping the first cause.
+func (s *Server) setDegraded(err error) {
+	s.degradedMu.Lock()
+	if s.degradedWhy == "" {
+		s.degradedWhy = err.Error()
+		s.logger.Printf("ERROR persistence failed, entering degraded read-only mode: %v", err)
+	}
+	s.degradedMu.Unlock()
+	s.degraded.Store(true)
+}
+
+func (s *Server) degradedReason() string {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return s.degradedWhy
+}
+
+// ensureSessionDurableLocked lays down a fresh session's on-disk state:
+// directory, metadata, and the first WAL generation. Anything a crashed
+// delete or an unrecovered previous life left under the name is wiped
+// first — this session starts from nothing, so must its directory.
+// Caller holds fs.mu.
+func (s *Server) ensureSessionDurableLocked(fs *forecastSession) error {
+	if fs.dir == "" || fs.diskReady {
+		return nil
+	}
+	if err := s.fsys.RemoveAll(fs.dir); err != nil {
+		return fmt.Errorf("wipe stale session dir: %w", err)
+	}
+	if err := s.fsys.MkdirAll(fs.dir, 0o755); err != nil {
+		return fmt.Errorf("create session dir: %w", err)
+	}
+	data, err := json.Marshal(fs.meta)
+	if err != nil {
+		return fmt.Errorf("encode session meta: %w", err)
+	}
+	if err := durable.WriteFileAtomic(s.fsys, filepath.Join(fs.dir, sessionMetaFile), data); err != nil {
+		return err
+	}
+	fs.walGen, fs.walNextSeq = 1, 1
+	fs.diskReady = true
+	return nil
+}
+
+// ensureWALLocked opens the session's current WAL generation for
+// appending, if it is not already open. Caller holds fs.mu.
+func (s *Server) ensureWALLocked(fs *forecastSession) error {
+	if fs.wal != nil {
+		return nil
+	}
+	w, err := durable.OpenWAL(s.fsys, fs.dir, fs.walGen, fs.walNextSeq)
+	if err != nil {
+		return err
+	}
+	w.OnSync = s.dur.observeFsync
+	fs.wal = w
+	return nil
+}
+
+// appendSessionWALLocked makes one ingest request durable before it is
+// folded: the raw body and flush flag are framed, appended, and fsynced.
+// On error nothing was acknowledged and the caller must not fold.
+// Caller holds fs.mu.
+func (s *Server) appendSessionWALLocked(fs *forecastSession, body []byte, flush bool) error {
+	if err := s.ensureSessionDurableLocked(fs); err != nil {
+		return err
+	}
+	if err := s.ensureWALLocked(fs); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&walRecord{Body: body, Flush: flush}); err != nil {
+		return fmt.Errorf("encode wal record: %w", err)
+	}
+	if _, err := fs.wal.Append(buf.Bytes()); err != nil {
+		return err
+	}
+	fs.walNextSeq = fs.wal.NextSeq()
+	fs.sinceSnap++
+	s.dur.walAppends.Add(1)
+	return nil
+}
+
+// snapshotSessionLocked compacts the session: full state to state.snap
+// (atomically, recording the covered WAL position), then rotates the log
+// to a fresh generation and removes the superseded ones. Crash-safe at
+// every point — recovery either sees the old snapshot plus the old log,
+// or the new snapshot (under which old generations are ignored).
+// Caller holds fs.mu; the session must be resident and diskReady.
+func (s *Server) snapshotSessionLocked(fs *forecastSession) error {
+	enc, err := core.EncodeForecastState(fs.state)
+	if err != nil {
+		return err
+	}
+	snap := sessionSnap{
+		Gen:      fs.walGen + 1,
+		Seq:      fs.walNextSeq - 1,
+		Forecast: enc,
+		Stream:   fs.stream.State(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return fmt.Errorf("encode session snapshot: %w", err)
+	}
+	if err := durable.WriteFileAtomic(s.fsys, filepath.Join(fs.dir, sessionSnapFile), buf.Bytes()); err != nil {
+		return err
+	}
+	if fs.wal != nil {
+		fs.wal.Close()
+		fs.wal = nil
+	}
+	oldGen := fs.walGen
+	fs.walGen = snap.Gen
+	fs.sinceSnap = 0
+	// Superseded generations are dead weight; removal is best-effort
+	// because recovery ignores generations below the snapshot's anyway.
+	if gens, err := durable.ListWALGens(s.fsys, fs.dir); err == nil {
+		for _, g := range gens {
+			if g <= oldGen {
+				s.fsys.Remove(durable.WALPath(fs.dir, g))
+			}
+		}
+	}
+	s.dur.snapshots.Add(1)
+	return nil
+}
+
+// maybeSnapshotLocked compacts when enough appends have accumulated.
+func (s *Server) maybeSnapshotLocked(fs *forecastSession) error {
+	if fs.sinceSnap < s.cfg.SnapshotEvery {
+		return nil
+	}
+	return s.snapshotSessionLocked(fs)
+}
+
+// sessionCountersLocked reads the listing counters; caller holds fs.mu
+// (read or write).
+func sessionCountersLocked(fs *forecastSession) SessionInfo {
+	var info SessionInfo
+	if fs.state != nil {
+		info.Steps = fs.state.Steps()
+	}
+	if fs.stream != nil {
+		info.Edges = fs.stream.Edges()
+		info.Records = fs.stream.Records()
+		info.Dropped = fs.stream.Dropped()
+		info.Nodes = fs.stream.NodesSeen()
+	}
+	return info
+}
+
+// spillSession snapshots a session to disk and releases its pooled
+// in-memory state; the map entry stays so the name resolves and a later
+// request lazily reloads. Sessions that never ingested have nothing on
+// disk and are left resident.
+func (s *Server) spillSession(fs *forecastSession) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed || fs.spilled || !fs.diskReady {
+		return nil
+	}
+	if err := s.snapshotSessionLocked(fs); err != nil {
+		return err
+	}
+	fs.spillInfo = sessionCountersLocked(fs)
+	fs.state.Release()
+	fs.state = nil
+	fs.stream.DiscardPending()
+	fs.stream = nil
+	if fs.wal != nil {
+		fs.wal.Close()
+		fs.wal = nil
+	}
+	fs.spilled = true
+	s.dur.spills.Add(1)
+	return nil
+}
+
+// loadSessionLocked reloads a spilled session from its snapshot. The
+// snapshot was taken at spill time and no appends happen while spilled,
+// so no WAL replay is needed in-process. Caller holds fs.mu.
+func (s *Server) loadSessionLocked(fs *forecastSession) error {
+	if fs.closed {
+		return fmt.Errorf("session %q was evicted", fs.name)
+	}
+	if !fs.spilled {
+		return nil
+	}
+	data, err := durable.ReadFile(s.fsys, filepath.Join(fs.dir, sessionSnapFile))
+	if err != nil {
+		return fmt.Errorf("reload session %q: %w", fs.name, err)
+	}
+	var snap sessionSnap
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("reload session %q: decode snapshot: %w", fs.name, err)
+	}
+	st, err := fs.entry.model.DecodeForecastState(snap.Forecast)
+	if err != nil {
+		return fmt.Errorf("reload session %q: %w", fs.name, err)
+	}
+	stream, err := ingest.RestoreStream(snap.Stream)
+	if err != nil {
+		st.Release()
+		return fmt.Errorf("reload session %q: %w", fs.name, err)
+	}
+	fs.state, fs.stream = st, stream
+	fs.spilled = false
+	s.dur.reloads.Add(1)
+	return nil
+}
+
+// ensureResident reloads a spilled session before a handler takes its
+// read lock. A sweep may re-spill it in the window between this call and
+// the read lock; handlers treat that as the retryable errSpilled.
+func (s *Server) ensureResident(fs *forecastSession) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return s.loadSessionLocked(fs)
+}
+
+// flushDirtySessions compacts every resident session with un-snapshotted
+// WAL appends, so a clean shutdown leaves each session recoverable from
+// its snapshot alone. Called by BeginDrain after the sweeper has stopped.
+func (s *Server) flushDirtySessions() {
+	s.sessMu.Lock()
+	all := make([]*forecastSession, 0, len(s.sessions))
+	for _, fs := range s.sessions {
+		all = append(all, fs)
+	}
+	s.sessMu.Unlock()
+	for _, fs := range all {
+		fs.mu.Lock()
+		if !fs.closed && !fs.spilled && fs.diskReady && fs.sinceSnap > 0 {
+			if err := s.snapshotSessionLocked(fs); err != nil {
+				// The WAL still holds every acknowledged append, so no
+				// data is lost — the next start just replays more.
+				s.logger.Printf("ERROR flush session %q: %v", fs.name, err)
+				s.setDegraded(err)
+			}
+		}
+		fs.mu.Unlock()
+	}
+}
+
+// sweepLoop is the background TTL/residency sweeper, stopped by
+// BeginDrain (which waits for it before flushing session state).
+func (s *Server) sweepLoop() {
+	defer s.sweepWG.Done()
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.drain:
+			return
+		case now := <-t.C:
+			s.sweepSessions(now)
+		}
+	}
+}
+
+// sweepDurable is the durable-mode sweep: a session's state of record is
+// on disk, so idling out must spill, never destroy. Spill triggers: TTL
+// idleness, and the MaxResident cap (longest-idle first). Sessions that
+// never ingested anything have nothing on disk; those are deleted on TTL
+// like in the non-durable mode.
+func (s *Server) sweepDurable(now time.Time) {
+	if s.degraded.Load() {
+		return // snapshots would fail; keep everything resident
+	}
+	s.sessMu.Lock()
+	all := make([]*forecastSession, 0, len(s.sessions))
+	for _, fs := range s.sessions {
+		all = append(all, fs)
+	}
+	s.sessMu.Unlock()
+
+	type cand struct {
+		fs   *forecastSession
+		idle time.Duration
+	}
+	var resident []cand
+	for _, fs := range all {
+		fs.mu.RLock()
+		closed, spilled, ready := fs.closed, fs.spilled, fs.diskReady
+		fs.mu.RUnlock()
+		if closed || spilled {
+			continue
+		}
+		idle := now.Sub(fs.used())
+		if !ready {
+			if idle > s.cfg.SessionTTL {
+				s.dropSession(fs)
+			}
+			continue
+		}
+		resident = append(resident, cand{fs, idle})
+	}
+	sort.Slice(resident, func(i, j int) bool { return resident[i].idle > resident[j].idle })
+	over := len(resident) - s.cfg.MaxResident
+	for i, c := range resident {
+		if c.idle <= s.cfg.SessionTTL && i >= over {
+			continue
+		}
+		if err := s.spillSession(c.fs); err != nil {
+			s.logger.Printf("ERROR spill session %q: %v", c.fs.name, err)
+			s.setDegraded(err)
+			return
+		}
+	}
+}
+
+// dropSession removes a session from the map and releases it; used for
+// durable-mode sessions with no on-disk state.
+func (s *Server) dropSession(fs *forecastSession) {
+	s.sessMu.Lock()
+	if cur, ok := s.sessions[fs.name]; !ok || cur != fs {
+		s.sessMu.Unlock()
+		return
+	}
+	delete(s.sessions, fs.name)
+	s.sessMu.Unlock()
+	fs.release()
+}
+
+// RecoverSessions scans DataDir for persisted sessions and rebuilds each
+// as snapshot + WAL-tail replay, registering them under their names.
+// Call it once after Register and before serving traffic. Sessions that
+// cannot be recovered (unknown model, unreadable metadata) are skipped
+// with a log line rather than failing the rest; torn WAL tails are
+// truncated in place. It returns the number of sessions recovered.
+func (s *Server) RecoverSessions() (int, error) {
+	if !s.durable() {
+		return 0, nil
+	}
+	root := filepath.Join(s.cfg.DataDir, "sessions")
+	entries, err := s.fsys.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("server: scan %s: %w", root, err)
+	}
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || !validSessionName(name) {
+			continue
+		}
+		fs, err := s.recoverSession(name)
+		if err != nil {
+			s.logger.Printf("WARN skipping unrecoverable session %q: %v", name, err)
+			continue
+		}
+		s.sessMu.Lock()
+		_, dup := s.sessions[name]
+		if !dup {
+			s.sessions[name] = fs
+		}
+		s.sessMu.Unlock()
+		if dup {
+			fs.release()
+			continue
+		}
+		s.dur.recoveries.Add(1)
+		n++
+	}
+	return n, nil
+}
+
+// recoverSession rebuilds one session from disk: metadata, then the
+// latest snapshot (or a fresh state when none exists), then every WAL
+// frame past the snapshot's position, folded exactly as the live
+// requests were. Records whose fold failed live fail identically here
+// and are skipped, reproducing the live session's partial effects.
+func (s *Server) recoverSession(name string) (*forecastSession, error) {
+	dir := s.sessionDir(name)
+	metaData, err := durable.ReadFile(s.fsys, filepath.Join(dir, sessionMetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("read meta: %w", err)
+	}
+	var meta sessionMeta
+	if err := json.Unmarshal(metaData, &meta); err != nil {
+		return nil, fmt.Errorf("decode meta: %w", err)
+	}
+	entry, err := s.lookup(meta.Model)
+	if err != nil {
+		return nil, err
+	}
+	m := entry.model
+
+	var (
+		state    *core.ForecastState
+		stream   *ingest.Stream
+		snapGen  uint64
+		afterSeq uint64
+		walGen   uint64 = 1
+		nextSeq  uint64 = 1
+	)
+	snapData, err := durable.ReadFile(s.fsys, filepath.Join(dir, sessionSnapFile))
+	switch {
+	case err == nil:
+		var snap sessionSnap
+		if err := gob.NewDecoder(bytes.NewReader(snapData)).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("decode snapshot: %w", err)
+		}
+		if state, err = m.DecodeForecastState(snap.Forecast); err != nil {
+			return nil, err
+		}
+		if stream, err = ingest.RestoreStream(snap.Stream); err != nil {
+			state.Release()
+			return nil, err
+		}
+		snapGen, afterSeq = snap.Gen, snap.Seq
+		walGen, nextSeq = snap.Gen, snap.Seq+1
+	case os.IsNotExist(err):
+		stream, err = ingest.NewStream(ingest.Options{
+			N: m.Cfg.N, F: m.Cfg.F,
+			Window:      meta.Window,
+			DropUnknown: meta.DropUnknown,
+			CarryAttrs:  meta.Carry,
+			Pooled:      true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		state = m.NewForecastState()
+	default:
+		return nil, fmt.Errorf("read snapshot: %w", err)
+	}
+	cleanup := func() {
+		state.Release()
+		stream.DiscardPending()
+	}
+
+	emit := func(snap *dyngraph.Snapshot) error {
+		err := m.EncodeSnapshot(state, snap)
+		snap.Recycle()
+		return err
+	}
+	apply := func(seq uint64, payload []byte) error {
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return fmt.Errorf("wal record %d: %w", seq, err)
+		}
+		if err := stream.Fold(bytes.NewReader(rec.Body), emit); err != nil {
+			return nil // the live request got its 400; same partial effects
+		}
+		if rec.Flush {
+			stream.Flush(emit) // a live flush error was a 400 too
+		}
+		return nil
+	}
+	gens, err := durable.ListWALGens(s.fsys, dir)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	for _, g := range gens {
+		if g < snapGen {
+			s.fsys.Remove(durable.WALPath(dir, g)) // superseded by the snapshot
+			continue
+		}
+		lastSeq, torn, err := durable.ReplayWAL(s.fsys, durable.WALPath(dir, g), afterSeq, apply)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("replay wal gen %d: %w", g, err)
+		}
+		if torn {
+			s.dur.tornTails.Add(1)
+		}
+		if g > walGen {
+			walGen = g
+		}
+		if lastSeq+1 > nextSeq {
+			nextSeq = lastSeq + 1
+		}
+	}
+
+	now := time.Now()
+	fs := &forecastSession{
+		name:       name,
+		entry:      entry,
+		stream:     stream,
+		state:      state,
+		created:    now,
+		meta:       meta,
+		dir:        dir,
+		diskReady:  true,
+		walGen:     walGen,
+		walNextSeq: nextSeq,
+	}
+	fs.touch(now)
+	return fs, nil
+}
+
+// durabilityStats renders the durability counters for /v1/metrics.
+func (s *Server) durabilityStats() *DurabilityStats {
+	s.sessMu.Lock()
+	all := make([]*forecastSession, 0, len(s.sessions))
+	for _, fs := range s.sessions {
+		all = append(all, fs)
+	}
+	s.sessMu.Unlock()
+	resident, spilled := 0, 0
+	for _, fs := range all {
+		fs.mu.RLock()
+		if fs.spilled {
+			spilled++
+		} else if !fs.closed {
+			resident++
+		}
+		fs.mu.RUnlock()
+	}
+	count, p50, p99 := s.dur.fsyncQuantiles()
+	return &DurabilityStats{
+		Enabled:          true,
+		Degraded:         s.degraded.Load(),
+		DegradedReason:   s.degradedReason(),
+		WALAppends:       s.dur.walAppends.Load(),
+		Snapshots:        s.dur.snapshots.Load(),
+		Recoveries:       s.dur.recoveries.Load(),
+		TornTails:        s.dur.tornTails.Load(),
+		Spills:           s.dur.spills.Load(),
+		Reloads:          s.dur.reloads.Load(),
+		ResidentSessions: resident,
+		SpilledSessions:  spilled,
+		FsyncCount:       count,
+		FsyncP50MS:       p50,
+		FsyncP99MS:       p99,
+	}
+}

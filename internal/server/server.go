@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"vrdag/internal/core"
+	"vrdag/internal/durable"
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/metrics"
 	"vrdag/internal/tensor"
@@ -69,6 +70,27 @@ type Config struct {
 	// on the wire bytes, gzip included).
 	MaxIngestBytes int64
 
+	// DataDir, when non-empty, makes forecast sessions durable: every
+	// ingest is WAL-appended and fsynced under <DataDir>/sessions/<name>
+	// before it is folded, sessions spill to disk instead of dying on
+	// TTL, and RecoverSessions rebuilds them after a restart with
+	// forecasts byte-identical to the pre-crash state.
+	DataDir string
+	// FS is the filesystem durable state goes through (default the real
+	// one); tests inject a durable.FaultFS to drive the crash matrix.
+	FS durable.FS
+	// SnapshotEvery compacts a session's WAL into a full snapshot after
+	// this many appended ingest requests (default 8).
+	SnapshotEvery int
+	// MaxResident bounds how many durable sessions stay decoded in RAM
+	// (default MaxSessions); the sweeper spills the longest-idle ones
+	// beyond the cap, and they reload lazily on next use.
+	MaxResident int
+	// SweepInterval is the background session sweeper period (default
+	// 1m; negative disables the background goroutine — sweeps then only
+	// happen inline on session access, as before).
+	SweepInterval time.Duration
+
 	Logger *log.Logger // request log destination (default stderr)
 }
 
@@ -93,6 +115,16 @@ type Server struct {
 
 	sessMu   sync.Mutex
 	sessions map[string]*forecastSession
+
+	fsys    durable.FS
+	dur     *durStats
+	sweepWG sync.WaitGroup
+
+	// degraded latches read-only mode after a persistence write failure:
+	// ingest sheds with 503, forecasts keep serving (see durability.go).
+	degraded    atomic.Bool
+	degradedMu  sync.Mutex
+	degradedWhy string
 
 	seedMu sync.Mutex
 	seeder *rand.Rand
@@ -137,6 +169,18 @@ func New(cfg Config) *Server {
 	if cfg.MaxIngestBytes <= 0 {
 		cfg.MaxIngestBytes = 64 << 20
 	}
+	if cfg.FS == nil {
+		cfg.FS = durable.OS
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 8
+	}
+	if cfg.MaxResident <= 0 {
+		cfg.MaxResident = cfg.MaxSessions
+	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = time.Minute
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(log.Writer(), "vrdag-serve ", log.LstdFlags)
 	}
@@ -149,6 +193,8 @@ func New(cfg Config) *Server {
 		started:  time.Now(),
 		models:   make(map[string]*modelEntry),
 		sessions: make(map[string]*forecastSession),
+		fsys:     cfg.FS,
+		dur:      &durStats{},
 		seeder:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.mux = http.NewServeMux()
@@ -169,6 +215,10 @@ func New(cfg Config) *Server {
 		s.endpointStats[path] = &endpointStats{}
 	}
 	s.endpointStats["other"] = &endpointStats{}
+	if s.cfg.SweepInterval > 0 {
+		s.sweepWG.Add(1)
+		go s.sweepLoop()
+	}
 	return s
 }
 
@@ -203,8 +253,19 @@ func (s *Server) Register(name string, m *core.Model, ref *dyngraph.Sequence) er
 // are rejected with 503 and in-flight streaming responses finish the
 // snapshot they are on, append a truncation trailer, and end — so an
 // http.Server.Shutdown deadline is met without cutting connections
-// mid-line. Idempotent.
-func (s *Server) BeginDrain() { s.drainOnce.Do(func() { close(s.drain) }) }
+// mid-line. It then stops the background session sweeper and, in durable
+// mode, compacts every dirty session to its snapshot — in that order, so
+// a sweep can never spill or mutate a session the flush is writing out.
+// Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		close(s.drain)
+		s.sweepWG.Wait()
+		if s.durable() {
+			s.flushDirtySessions()
+		}
+	})
+}
 
 func (s *Server) draining() bool {
 	select {
@@ -216,7 +277,10 @@ func (s *Server) draining() bool {
 }
 
 // Close drains the worker pool and releases every forecast session's
-// pooled state. In-flight requests finish; new ones are rejected.
+// pooled state. In-flight requests finish; new ones are rejected. In
+// durable mode BeginDrain has already flushed each session to its
+// snapshot, and anything an in-flight ingest appended after that flush
+// is still safe in its WAL — releasing here never loses durable state.
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.pool.Close()
@@ -808,7 +872,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.models)
 	s.mu.RUnlock()
+	status := "ok"
+	if s.degraded.Load() {
+		status = "degraded"
+	}
 	s.writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok", Models: n, Workers: s.cfg.Workers, Draining: s.draining(),
+		Status: status, Models: n, Workers: s.cfg.Workers,
+		Draining: s.draining(), Degraded: s.degraded.Load(),
 	})
 }

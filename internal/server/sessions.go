@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"vrdag/internal/core"
+	"vrdag/internal/durable"
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/ingest"
 )
@@ -43,6 +45,18 @@ type forecastSession struct {
 	stream *ingest.Stream
 	state  *core.ForecastState
 	closed bool
+
+	// Durable-mode fields, guarded by mu. dir is set once at creation
+	// ("" when the server has no DataDir) and read without the lock.
+	meta       sessionMeta
+	dir        string
+	diskReady  bool // directory+meta exist; walGen/walNextSeq are valid
+	wal        *durable.WAL
+	walGen     uint64
+	walNextSeq uint64
+	sinceSnap  int         // WAL appends since the last snapshot
+	spilled    bool        // state released to disk; reload before use
+	spillInfo  SessionInfo // listing counters cached at spill time
 
 	created time.Time
 
@@ -77,12 +91,22 @@ func (fs *forecastSession) release() {
 		fs.stream.DiscardPending()
 		fs.stream = nil
 	}
+	if fs.wal != nil {
+		fs.wal.Close()
+		fs.wal = nil
+	}
 }
 
 // sweepSessions evicts sessions idle past the TTL. It must be called
 // without sessMu held; release happens outside the store lock so a sweep
-// never stalls unrelated requests behind a busy session's lock.
+// never stalls unrelated requests behind a busy session's lock. In
+// durable mode idle sessions are spilled to disk instead of destroyed
+// (see sweepDurable).
 func (s *Server) sweepSessions(now time.Time) {
+	if s.durable() {
+		s.sweepDurable(now)
+		return
+	}
 	var victims []*forecastSession
 	s.sessMu.Lock()
 	for name, fs := range s.sessions {
@@ -127,11 +151,20 @@ func (s *Server) releaseAllSessions() {
 	}
 }
 
+// validSessionName admits 1-64 characters of [a-zA-Z0-9._-] with no
+// leading dot. Session names become on-disk directory components in
+// durable mode, so anything that could escape the sessions root — "..",
+// ".", path separators, or a hidden-file prefix colliding with our own
+// metadata — is rejected as hostile input, not merely unexpected.
 func validSessionName(name string) bool {
-	if name == "" || len(name) > 64 {
+	if name == "" || len(name) > 64 || name[0] == '.' {
 		return false
 	}
-	for _, c := range name {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '/' || c == '\\' {
+			return false
+		}
 		ok := c == '-' || c == '_' || c == '.' ||
 			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 		if !ok {
@@ -179,15 +212,18 @@ func (s *Server) handleIngestList(w http.ResponseWriter) {
 			IdleS:   now.Sub(fs.used()).Seconds(),
 			TTLS:    s.cfg.SessionTTL.Seconds(),
 		}
-		if fs.state != nil {
-			info.Steps = fs.state.Steps()
+		counters := sessionCountersLocked(fs)
+		if fs.spilled {
+			// The live cursor is on disk; report the counters cached at
+			// spill time rather than forcing a reload for a listing.
+			info.Spilled = true
+			counters = fs.spillInfo
 		}
-		if fs.stream != nil {
-			info.Edges = fs.stream.Edges()
-			info.Records = fs.stream.Records()
-			info.Dropped = fs.stream.Dropped()
-			info.Nodes = fs.stream.NodesSeen()
-		}
+		info.Steps = counters.Steps
+		info.Edges = counters.Edges
+		info.Records = counters.Records
+		info.Dropped = counters.Dropped
+		info.Nodes = counters.Nodes
 		fs.mu.RUnlock()
 		infos = append(infos, info)
 	}
@@ -208,6 +244,14 @@ func (s *Server) handleIngestDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fs.release()
+	if fs.dir != "" {
+		// A failed removal is logged, not fatal: the next session created
+		// under this name wipes the directory before writing its own
+		// state (ensureSessionDurableLocked).
+		if err := s.fsys.RemoveAll(fs.dir); err != nil {
+			s.logger.Printf("ERROR remove session dir %s: %v", fs.dir, err)
+		}
+	}
 	s.writeJSON(w, http.StatusOK, SessionDeleteResponse{Session: name, Deleted: true})
 }
 
@@ -239,7 +283,7 @@ func (s *Server) parseIngestQuery(w http.ResponseWriter, r *http.Request) (inges
 	}
 	if !validSessionName(iq.session) {
 		s.writeError(w, http.StatusBadRequest,
-			"session must be 1-64 chars of [a-zA-Z0-9._-], got %q", iq.session)
+			"session must be 1-64 chars of [a-zA-Z0-9._-] with no leading dot, got %q", iq.session)
 		return iq, false
 	}
 	if v := q.Get("window"); v != "" {
@@ -280,6 +324,14 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.durable() && s.degraded.Load() {
+		// Accepting an ingest that cannot be made durable would silently
+		// break the recovery contract; shed it and keep serving reads.
+		w.Header().Set("Retry-After", "30")
+		s.writeError(w, http.StatusServiceUnavailable,
+			"persistence degraded, ingest is read-only: %s", s.degradedReason())
+		return
+	}
 
 	release, ok := s.admit(w, r)
 	if !ok {
@@ -315,6 +367,7 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var resp IngestResponse
 	var genErr error
+	var persistErr bool
 	ok = s.runPooled(w, r, func() {
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
@@ -322,10 +375,31 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 			genErr = fmt.Errorf("session %q was evicted mid-request", fs.name)
 			return
 		}
+		if genErr = s.loadSessionLocked(fs); genErr != nil {
+			persistErr = true
+			return
+		}
+		durableSess := fs.dir != ""
+		if durableSess {
+			// Append-then-fold: the raw body is fsynced into the session
+			// WAL before any of it touches the in-memory state, so an
+			// acknowledged ingest survives a kill at any instant and
+			// replay reproduces exactly the folds that happened live.
+			if genErr = s.appendSessionWALLocked(fs, body.Bytes(), iq.flush); genErr != nil {
+				persistErr = true
+				s.setDegraded(genErr)
+				return
+			}
+		}
 		absorbed := 0
 		emit := func(snap *dyngraph.Snapshot) error {
-			if err := r.Context().Err(); err != nil {
-				return err
+			// In durable mode the fold runs to completion even if the
+			// client hangs up: the WAL record is already durable, and
+			// recovery replays whole records — memory must match.
+			if !durableSess {
+				if err := r.Context().Err(); err != nil {
+					return err
+				}
 			}
 			err := fs.entry.model.EncodeSnapshot(fs.state, snap)
 			snap.Recycle()
@@ -340,6 +414,14 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 		if iq.flush {
 			if genErr = fs.stream.Flush(emit); genErr != nil {
 				return
+			}
+		}
+		if durableSess {
+			if err := s.maybeSnapshotLocked(fs); err != nil {
+				// The ingest itself is durable in the WAL; a failed
+				// compaction degrades the server but not this request.
+				s.logger.Printf("ERROR snapshot session %q: %v", fs.name, err)
+				s.setDegraded(err)
 			}
 		}
 		// Snapshot the counters while the lock still guarantees the
@@ -364,6 +446,11 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 	if genErr != nil {
 		if r.Context().Err() != nil {
 			return // client gone mid-request
+		}
+		if persistErr {
+			w.Header().Set("Retry-After", "30")
+			s.writeError(w, http.StatusServiceUnavailable, "ingest not persisted: %v", genErr)
+			return
 		}
 		s.writeError(w, http.StatusBadRequest, "ingest failed: %v", genErr)
 		return
@@ -411,6 +498,18 @@ func (s *Server) getOrCreateSession(iq ingestQuery) (*forecastSession, bool, err
 		stream:  stream,
 		state:   m.NewForecastState(),
 		created: now,
+		meta: sessionMeta{
+			Model:       entry.name,
+			Window:      iq.window,
+			DropUnknown: iq.dropUnknown,
+			Carry:       iq.carry,
+		},
+	}
+	if s.durable() {
+		// Disk state is laid down lazily by the first ingest (under
+		// fs.mu, off the spool path); dir set here marks the session as
+		// durable for every handler.
+		fs.dir = s.sessionDir(iq.session)
 	}
 	fs.touch(now)
 
@@ -444,6 +543,11 @@ func (s *Server) decodeForecastRequest(w http.ResponseWriter, r *http.Request) (
 		s.writeError(w, http.StatusNotFound, "%v", err)
 		return req, nil, 0, false
 	}
+	if err := s.ensureResident(fs); err != nil {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return req, nil, 0, false
+	}
 	seed := s.drawSeed()
 	if req.Seed != nil {
 		seed = *req.Seed
@@ -475,6 +579,10 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			genErr = fmt.Errorf("session %q was evicted", fs.name)
 			return
 		}
+		if fs.spilled {
+			genErr = errSpilled
+			return
+		}
 		steps = fs.state.Steps()
 		seq, genErr = fs.entry.model.Forecast(r.Context(), fs.state, core.GenOptions{
 			T:            req.T,
@@ -488,6 +596,12 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	}
 	if genErr != nil {
 		if r.Context().Err() != nil {
+			return
+		}
+		if errors.Is(genErr, errSpilled) {
+			// A sweep won the race between reload and the read lock.
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "%v", genErr)
 			return
 		}
 		s.writeError(w, http.StatusInternalServerError, "forecast failed: %v", genErr)
@@ -520,6 +634,11 @@ func (s *Server) handleForecastStream(w http.ResponseWriter, r *http.Request) {
 		defer fs.mu.RUnlock()
 		if fs.closed {
 			s.writeError(w, http.StatusNotFound, "session %q was evicted", fs.name)
+			return
+		}
+		if fs.spilled {
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "%v", errSpilled)
 			return
 		}
 		m := fs.entry.model

@@ -82,5 +82,8 @@ func (s *Server) serverStats() *ServerStats {
 		}
 		out.Endpoints[path] = e.snapshot()
 	}
+	if s.durable() {
+		out.Durability = s.durabilityStats()
+	}
 	return out
 }

@@ -127,6 +127,9 @@ type SessionInfo struct {
 	AgeS    float64 `json:"age_s"`
 	IdleS   float64 `json:"idle_s"`
 	TTLS    float64 `json:"ttl_s"`
+	// Spilled marks a durable session whose state currently lives on
+	// disk only; the next ingest or forecast reloads it transparently.
+	Spilled bool `json:"spilled,omitempty"`
 }
 
 // SessionDeleteResponse is the body of DELETE /v1/ingest?session=....
@@ -190,6 +193,32 @@ type ServerStats struct {
 	UptimeS        float64                  `json:"uptime_s"`
 	BucketBoundsMS []float64                `json:"bucket_bounds_ms"`
 	Endpoints      map[string]EndpointStats `json:"endpoints"`
+	// Durability is present only when the server runs with a DataDir.
+	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// DurabilityStats reports the session persistence counters: how often
+// the WAL is hit, what the fsync tax looks like, and whether the server
+// has latched into degraded read-only mode.
+type DurabilityStats struct {
+	Enabled        bool   `json:"enabled"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
+	WALAppends int64 `json:"wal_appends"`
+	Snapshots  int64 `json:"snapshots"`
+	Recoveries int64 `json:"recoveries"`
+	TornTails  int64 `json:"torn_tails,omitempty"`
+	Spills     int64 `json:"spills"`
+	Reloads    int64 `json:"reloads"`
+
+	ResidentSessions int `json:"resident_sessions"`
+	SpilledSessions  int `json:"spilled_sessions"`
+
+	// Fsync latency over a bounded window of recent WAL appends.
+	FsyncCount int64   `json:"fsync_count"`
+	FsyncP50MS float64 `json:"fsync_p50_ms"`
+	FsyncP99MS float64 `json:"fsync_p99_ms"`
 }
 
 // EndpointStats is one endpoint's counters. Buckets has one count per
@@ -238,12 +267,15 @@ type ModelInfo struct {
 	Generated int64  `json:"generated"` // completed generation requests served
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. Status is "degraded" when
+// a persistence failure has latched the server read-only: forecasts
+// still serve, ingest sheds with 503 until the operator intervenes.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	Models   int    `json:"models"`
 	Workers  int    `json:"workers"`
 	Draining bool   `json:"draining,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
