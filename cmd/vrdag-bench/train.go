@@ -13,6 +13,7 @@ import (
 	"vrdag/internal/core"
 	"vrdag/internal/datasets"
 	"vrdag/internal/dyngraph"
+	"vrdag/internal/tensor"
 )
 
 // Training-path benchmark: wall-time, throughput, and allocation profile
@@ -31,8 +32,12 @@ type trainOptions struct {
 }
 
 type trainResult struct {
-	Name            string  `json:"name"`
-	Engine          string  `json:"engine"` // "sequential" or "parallel"
+	Name   string `json:"name"`
+	Engine string `json:"engine"` // "sequential" or "parallel"
+	// Backend names the tensor kernel set the run executed on (avx2,
+	// avx512, neon, go-tuned, go-scalar) — without it a committed artifact
+	// can't be compared across hosts or VRDAG_BACKEND overrides.
+	Backend         string  `json:"backend"`
 	Workers         int     `json:"workers,omitempty"`
 	N               int     `json:"n"`
 	T               int     `json:"t"`
@@ -107,6 +112,7 @@ func runTrainBench(o trainOptions) error {
 		return trainResult{
 			Name:            name,
 			Engine:          engine,
+			Backend:         tensor.ActiveBackend(),
 			Workers:         workers,
 			N:               seq.N,
 			T:               seq.T(),

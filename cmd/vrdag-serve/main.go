@@ -43,6 +43,7 @@ import (
 	"vrdag/internal/datasets"
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/server"
+	"vrdag/internal/tensor"
 )
 
 func main() {
@@ -74,6 +75,8 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "vrdag-serve ", log.LstdFlags)
+	logger.Printf("compute backend %s (cpu features: %s)",
+		tensor.ActiveBackend(), strings.Join(tensor.CPUFeatures(), ","))
 	srv := server.New(server.Config{
 		Workers: *workers, Queue: *queue, MaxT: *maxT, Logger: logger,
 		DataDir: *dataDir, SnapshotEvery: *snapEvery, MaxResident: *maxResident,

@@ -124,12 +124,7 @@ func (g *GAT) Forward(states *tensor.Matrix, src, dst []int, n int) *tensor.Matr
 }
 
 func leakyInPlace(m *tensor.Matrix) {
-	m.ApplyInPlace(func(v float64) float64 {
-		if v > 0 {
-			return v
-		}
-		return 0.2 * v
-	})
+	tensor.VLeakyReLU(m.Data, 0.2)
 }
 
 func concatCols(parts ...*tensor.Matrix) *tensor.Matrix {

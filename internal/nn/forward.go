@@ -25,18 +25,16 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 func applyActValueInPlace(m *tensor.Matrix, a Activation) {
 	switch a {
 	case ActReLU:
+		// Stays math.Max rather than tensor.VReLU: Max(0, -0) = +0 while
+		// the blend kernel keeps -0, and the taped forward this must match
+		// bit-for-bit uses Max.
 		m.ApplyInPlace(func(v float64) float64 { return math.Max(0, v) })
 	case ActLeakyReLU:
-		m.ApplyInPlace(func(v float64) float64 {
-			if v > 0 {
-				return v
-			}
-			return 0.2 * v
-		})
+		tensor.VLeakyReLU(m.Data, 0.2)
 	case ActTanh:
-		m.ApplyInPlace(math.Tanh)
+		tensor.VTanh(m.Data)
 	case ActSigmoid:
-		m.ApplyInPlace(tensor.Sigmoid)
+		tensor.VSigmoid(m.Data)
 	}
 }
 
@@ -80,7 +78,7 @@ func (g *GRUCell) Forward(x, h *tensor.Matrix) *tensor.Matrix {
 	tensor.MatMulInto(ht, x, g.Wh.Value)
 	tensor.MatMulInto(ht, r, g.Uh.Value)
 	ht.AddRowVecInPlace(g.Bh.Value)
-	ht.ApplyInPlace(math.Tanh)
+	tensor.VTanh(ht.Data)
 	out := tensor.Get(h.Rows, h.Cols)
 	for i, hv := range h.Data {
 		out.Data[i] = hv + z.Data[i]*(ht.Data[i]-hv)

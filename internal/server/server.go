@@ -831,6 +831,8 @@ func readRuntimeStats() *RuntimeStats {
 		NumGC:           ms.NumGC,
 		GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
 		Goroutines:      runtime.NumGoroutine(),
+		ComputeBackend:  tensor.ActiveBackend(),
+		CPUFeatures:     tensor.CPUFeatures(),
 		PoolGets:        ps.Gets,
 		PoolHits:        ps.Hits,
 		PoolPuts:        ps.Puts,

@@ -245,12 +245,20 @@ type RuntimeStats struct {
 	NumGC           uint32  `json:"num_gc"`
 	GCPauseTotalMS  float64 `json:"gc_pause_total_ms"`
 	Goroutines      int     `json:"goroutines"`
-	PoolGets        int64   `json:"tensor_pool_gets"`
-	PoolHits        int64   `json:"tensor_pool_hits"`
-	PoolPuts        int64   `json:"tensor_pool_puts"`
-	PoolSteals      int64   `json:"tensor_pool_steals"`
-	PoolHitRate     float64 `json:"tensor_pool_hit_rate"` // hits/gets since process start
-	PoolRetainedB   int64   `json:"tensor_pool_retained_bytes"`
+
+	// ComputeBackend names the SIMD kernel set serving every tensor op
+	// (e.g. "avx2", "avx512", "neon", "go-tuned"); CPUFeatures lists what
+	// the startup probe detected, so a fleet-wide metrics scrape shows at
+	// a glance which hosts fell back to scalar kernels.
+	ComputeBackend string   `json:"compute_backend"`
+	CPUFeatures    []string `json:"cpu_features"`
+
+	PoolGets      int64   `json:"tensor_pool_gets"`
+	PoolHits      int64   `json:"tensor_pool_hits"`
+	PoolPuts      int64   `json:"tensor_pool_puts"`
+	PoolSteals    int64   `json:"tensor_pool_steals"`
+	PoolHitRate   float64 `json:"tensor_pool_hit_rate"` // hits/gets since process start
+	PoolRetainedB int64   `json:"tensor_pool_retained_bytes"`
 
 	PoolShards []tensor.PoolShardStats `json:"tensor_pool_shards"`
 }

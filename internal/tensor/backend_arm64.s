@@ -1,0 +1,145 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON kernels for the arm64 backend. Advanced SIMD is part of the
+// arm64 baseline, so there is nothing to probe at runtime; the same
+// bit-stability rules as the amd64 file apply: no fused multiply-add
+// (separate FMUL + FADD round like the scalar reference), vectorisation
+// across output elements only, scalar tails with the scalar FP ops the
+// Go compiler itself emits.
+//
+// The Go assembler has no mnemonics for the vector FP arithmetic ops, so
+// FMUL/FADD (vector, 2D) are WORD-encoded with fixed registers:
+//
+//	FMUL Vd.2D, Vn.2D, Vm.2D = 0x6E60DC00 | m<<16 | n<<5 | d
+//	FADD Vd.2D, Vn.2D, Vm.2D = 0x4E60D400 | m<<16 | n<<5 | d
+//
+// Each WORD carries the decoded form in a comment; `go tool objdump`
+// round-trips them to exactly these instructions.
+
+// func axpyNEON(dst, src *float64, n int, a float64)
+// dst[i] += a*src[i] for i in [0, n).
+TEXT ·axpyNEON(SB), NOSPLIT, $0-32
+	MOVD  dst+0(FP), R0
+	MOVD  src+8(FP), R1
+	MOVD  n+16(FP), R2
+	FMOVD a+24(FP), F0
+	VDUP  V0.D[0], V1.D2
+
+axpy_loop4:
+	CMP    $4, R2
+	BLT    axpy_loop2
+	VLD1.P 32(R1), [V2.D2, V3.D2]
+	VLD1   (R0), [V4.D2, V5.D2]
+	WORD   $0x6E61DC42 // FMUL V2.2D, V2.2D, V1.2D
+	WORD   $0x6E61DC63 // FMUL V3.2D, V3.2D, V1.2D
+	WORD   $0x4E62D484 // FADD V4.2D, V4.2D, V2.2D
+	WORD   $0x4E63D4A5 // FADD V5.2D, V5.2D, V3.2D
+	VST1.P [V4.D2, V5.D2], 32(R0)
+	SUB    $4, R2
+	B      axpy_loop4
+
+axpy_loop2:
+	CMP    $2, R2
+	BLT    axpy_loop1
+	VLD1.P 16(R1), [V2.D2]
+	VLD1   (R0), [V4.D2]
+	WORD   $0x6E61DC42 // FMUL V2.2D, V2.2D, V1.2D
+	WORD   $0x4E62D484 // FADD V4.2D, V4.2D, V2.2D
+	VST1.P [V4.D2], 16(R0)
+	SUB    $2, R2
+	B      axpy_loop2
+
+axpy_loop1:
+	CBZ     R2, axpy_done
+	FMOVD   (R1), F2
+	FMULD   F0, F2, F2
+	FMOVD   (R0), F3
+	FADDD   F2, F3, F3
+	FMOVD.P F3, 8(R0)
+	ADD     $8, R1
+	SUB     $1, R2
+	B       axpy_loop1
+
+axpy_done:
+	RET
+
+// func addNEON(dst, src *float64, n int)
+// dst[i] += src[i] for i in [0, n).
+TEXT ·addNEON(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+
+add_loop4:
+	CMP    $4, R2
+	BLT    add_loop2
+	VLD1.P 32(R1), [V2.D2, V3.D2]
+	VLD1   (R0), [V4.D2, V5.D2]
+	WORD   $0x4E62D484 // FADD V4.2D, V4.2D, V2.2D
+	WORD   $0x4E63D4A5 // FADD V5.2D, V5.2D, V3.2D
+	VST1.P [V4.D2, V5.D2], 32(R0)
+	SUB    $4, R2
+	B      add_loop4
+
+add_loop2:
+	CMP    $2, R2
+	BLT    add_loop1
+	VLD1.P 16(R1), [V2.D2]
+	VLD1   (R0), [V4.D2]
+	WORD   $0x4E62D484 // FADD V4.2D, V4.2D, V2.2D
+	VST1.P [V4.D2], 16(R0)
+	SUB    $2, R2
+	B      add_loop2
+
+add_loop1:
+	CBZ     R2, add_done
+	FMOVD   (R1), F2
+	FMOVD   (R0), F3
+	FADDD   F2, F3, F3
+	FMOVD.P F3, 8(R0)
+	ADD     $8, R1
+	SUB     $1, R2
+	B       add_loop1
+
+add_done:
+	RET
+
+// func scaleNEON(x *float64, n int, s float64)
+// x[i] *= s for i in [0, n).
+TEXT ·scaleNEON(SB), NOSPLIT, $0-24
+	MOVD  x+0(FP), R0
+	MOVD  n+8(FP), R2
+	FMOVD s+16(FP), F0
+	VDUP  V0.D[0], V1.D2
+
+scale_loop4:
+	CMP    $4, R2
+	BLT    scale_loop2
+	VLD1   (R0), [V2.D2, V3.D2]
+	WORD   $0x6E61DC42 // FMUL V2.2D, V2.2D, V1.2D
+	WORD   $0x6E61DC63 // FMUL V3.2D, V3.2D, V1.2D
+	VST1.P [V2.D2, V3.D2], 32(R0)
+	SUB    $4, R2
+	B      scale_loop4
+
+scale_loop2:
+	CMP    $2, R2
+	BLT    scale_loop1
+	VLD1   (R0), [V2.D2]
+	WORD   $0x6E61DC42 // FMUL V2.2D, V2.2D, V1.2D
+	VST1.P [V2.D2], 16(R0)
+	SUB    $2, R2
+	B      scale_loop2
+
+scale_loop1:
+	CBZ     R2, scale_done
+	FMOVD   (R0), F2
+	FMULD   F0, F2, F2
+	FMOVD.P F2, 8(R0)
+	SUB     $1, R2
+	B       scale_loop1
+
+scale_done:
+	RET

@@ -1,0 +1,62 @@
+//go:build amd64 && !purego
+
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFMAToleranceULP pins the one sanctioned divergence from the
+// bit-stability contract: the VRDAG_FMA=1 tolerance mode fuses each
+// multiply-add in the GemmNN/GemmTN row kernels, removing one rounding
+// per product. The test constructs the backend directly (registration is
+// env-gated, the type is not), so it runs on any FMA-capable host
+// regardless of the environment.
+//
+// With positive inputs (no cancellation) the classic dot-product bound
+// gives |fma − ref| / |ref| ≤ k·eps ≈ 1.4e-14 for k = 64; the asserted
+// ceiling is 1e-12 to keep slack. The drift must also be *only* ULP-level
+// noise: a kernel bug (wrong row, dropped tail) shows up orders of
+// magnitude above the ceiling.
+func TestFMAToleranceULP(t *testing.T) {
+	if !amd64feat.avx2 || !amd64feat.fma {
+		t.Skip("host lacks AVX2+FMA")
+	}
+	fma := fmaBackend{}
+	ref := pureBackend{}
+	rng := rand.New(rand.NewSource(9))
+	const m, k, n = 33, 64, 65 // ragged: exercises the 4-wide tail and nz%4 remainder
+	fill := func(mat *Matrix) {
+		for i := range mat.Data {
+			mat.Data[i] = 0.5 + rng.Float64() // positive: bounds relative error
+		}
+	}
+	for _, variant := range []struct {
+		name   string
+		ar, ac int
+		call   func(Backend, *Matrix, *Matrix, *Matrix)
+	}{
+		{"NN", m, k, func(bk Backend, o, a, b *Matrix) { bk.GemmNN(o, a, b) }},
+		{"TN", k, m, func(bk Backend, o, a, b *Matrix) { bk.GemmTN(o, a, b) }},
+	} {
+		a, b := New(variant.ar, variant.ac), New(k, n)
+		fill(a)
+		fill(b)
+		want, got := New(m, n), New(m, n)
+		variant.call(ref, want, a, b)
+		variant.call(fma, got, a, b)
+		maxRel := 0.0
+		for i := range want.Data {
+			rel := math.Abs(got.Data[i]-want.Data[i]) / math.Abs(want.Data[i])
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		if maxRel > 1e-12 {
+			t.Fatalf("Gemm%s: FMA drift %.3e exceeds the documented 1e-12 tolerance", variant.name, maxRel)
+		}
+		t.Logf("Gemm%s: max relative FMA drift %.3e (tolerance 1e-12)", variant.name, maxRel)
+	}
+}

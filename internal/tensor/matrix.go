@@ -150,16 +150,12 @@ func (m *Matrix) AddInPlace(o *Matrix) {
 	if !m.SameShape(o) {
 		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %s vs %s", m.shape(), o.shape()))
 	}
-	for i, v := range o.Data {
-		m.Data[i] += v
-	}
+	backendImpl.Add(m.Data, o.Data)
 }
 
 // ScaleInPlace multiplies every entry of m by s.
 func (m *Matrix) ScaleInPlace(s float64) {
-	for i := range m.Data {
-		m.Data[i] *= s
-	}
+	backendImpl.Scale(m.Data, s)
 }
 
 // Axpy performs m += a*o elementwise.
@@ -167,9 +163,7 @@ func (m *Matrix) Axpy(a float64, o *Matrix) {
 	if !m.SameShape(o) {
 		panic(fmt.Sprintf("tensor: Axpy shape mismatch %s vs %s", m.shape(), o.shape()))
 	}
-	for i, v := range o.Data {
-		m.Data[i] += a * v
-	}
+	backendImpl.AxpyRow(m.Data, o.Data, a)
 }
 
 // MatMul returns a*b using a cache-blocked ikj loop order, allocated from
@@ -241,92 +235,29 @@ func parallelRows(n int, f func(lo, hi int)) {
 	wg.Wait()
 }
 
-// axpyRow computes dst += a*src over equal-length slices. The 4-way
-// unroll amortises loop control and keeps throughput stable regardless of
-// how the enclosing loop's branches land on decode-window boundaries; it
-// preserves ascending-index accumulation order, so callers stay
-// bit-identical to a plain loop.
+// axpyRow computes dst += a*src over equal-length slices on the active
+// compute backend. Every backend preserves ascending-index accumulation
+// order, so callers stay bit-identical to a plain loop.
 func axpyRow(dst, src []float64, a float64) {
-	n := len(src)
-	dst = dst[:n]
-	j := 0
-	for ; j+3 < n; j += 4 {
-		dst[j] += a * src[j]
-		dst[j+1] += a * src[j+1]
-		dst[j+2] += a * src[j+2]
-		dst[j+3] += a * src[j+3]
-	}
-	for ; j < n; j++ {
-		dst[j] += a * src[j]
-	}
+	backendImpl.AxpyRow(dst, src, a)
 }
 
 // matMulInto computes out += opA(a) * opB(b) where opX transposes when the
-// corresponding flag is set. out must be pre-shaped; it is accumulated into.
-// The untransposed case blocks over k so the active panel of b stays in
-// cache; per output element the accumulation order is unchanged (ascending
-// p), keeping results bit-identical to the unblocked kernel.
+// corresponding flag is set, dispatching to the active compute backend's
+// kernel for the transpose variant. out must be pre-shaped; it is
+// accumulated into. Every backend honours the per-element accumulation
+// contract documented in backend.go, so results are bit-identical across
+// backends (FMA tolerance mode excepted).
 func matMulInto(out, a, b *Matrix, ta, tb bool) {
 	switch {
-	case !ta && !tb: // (m,k)x(k,n)
-		m, k, n := a.Rows, a.Cols, b.Cols
-		for k0 := 0; k0 < k; k0 += matMulKBlock {
-			k1 := k0 + matMulKBlock
-			if k1 > k {
-				k1 = k
-			}
-			for i := 0; i < m; i++ {
-				arow := a.Data[i*k+k0 : i*k+k1]
-				orow := out.Data[i*n : (i+1)*n]
-				for pi, av := range arow {
-					if av == 0 {
-						continue
-					}
-					p := k0 + pi
-					axpyRow(orow, b.Data[p*n:(p+1)*n], av)
-				}
-			}
-		}
-	case ta && !tb: // (k,m)^T x (k,n)
-		m, k, n := a.Cols, a.Rows, b.Cols
-		for p := 0; p < k; p++ {
-			arow := a.Data[p*m : (p+1)*m]
-			brow := b.Data[p*n : (p+1)*n]
-			for i := 0; i < m; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				axpyRow(out.Data[i*n:(i+1)*n], brow, av)
-			}
-		}
-	case !ta && tb: // (m,k) x (n,k)^T
-		m, k, n := a.Rows, a.Cols, b.Rows
-		for i := 0; i < m; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for p := 0; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				orow[j] += s
-			}
-		}
-	default: // ta && tb: (k,m)^T x (n,k)^T = (m,n)
-		m, k, n := a.Cols, a.Rows, b.Rows
-		for i := 0; i < m; i++ {
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for p := 0; p < k; p++ {
-					s += a.Data[p*m+i] * brow[p]
-				}
-				orow[j] += s
-			}
-		}
+	case !ta && !tb:
+		backendImpl.GemmNN(out, a, b)
+	case ta && !tb:
+		backendImpl.GemmTN(out, a, b)
+	case !ta && tb:
+		backendImpl.GemmNT(out, a, b)
+	default:
+		backendImpl.GemmTT(out, a, b)
 	}
 }
 

@@ -268,25 +268,13 @@ const (
 func applyActSlice(data []float64, act Act) {
 	switch act {
 	case ActReLU:
-		for i, v := range data {
-			if v < 0 {
-				data[i] = 0
-			}
-		}
+		backendImpl.VReLU(data)
 	case ActLeakyReLU:
-		for i, v := range data {
-			if v < 0 {
-				data[i] = 0.2 * v
-			}
-		}
+		backendImpl.VLeakyReLU(data, 0.2)
 	case ActTanh:
-		for i, v := range data {
-			data[i] = math.Tanh(v)
-		}
+		backendImpl.VTanh(data)
 	case ActSigmoid:
-		for i, v := range data {
-			data[i] = sigmoid(v)
-		}
+		backendImpl.VSigmoid(data)
 	}
 }
 
@@ -320,9 +308,7 @@ func preGrad(out, grad *Matrix, act Act) (dPre *Matrix, scratch bool) {
 		return grad, false
 	}
 	d := Get(grad.Rows, grad.Cols)
-	for i, g := range grad.Data {
-		d.Data[i] = g * actGradFromOutput(out.Data[i], act)
-	}
+	backendImpl.VActGrad(d.Data, grad.Data, out.Data, act)
 	return d, true
 }
 
@@ -421,9 +407,8 @@ func (t *Tape) Lerp(a, b, z *Node) *Node {
 func (t *Tape) Sigmoid(a *Node) *Node {
 	n := t.newOp(a.needGrad, func() *Matrix {
 		out := Get(a.Value.Rows, a.Value.Cols)
-		for i, v := range a.Value.Data {
-			out.Data[i] = sigmoid(v)
-		}
+		copy(out.Data, a.Value.Data)
+		backendImpl.VSigmoid(out.Data)
 		return out
 	}, a)
 	n.backward = func() {
@@ -448,9 +433,8 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 func (t *Tape) Tanh(a *Node) *Node {
 	n := t.newOp(a.needGrad, func() *Matrix {
 		out := Get(a.Value.Rows, a.Value.Cols)
-		for i, v := range a.Value.Data {
-			out.Data[i] = math.Tanh(v)
-		}
+		copy(out.Data, a.Value.Data)
+		backendImpl.VTanh(out.Data)
 		return out
 	}, a)
 	n.backward = func() {
@@ -542,9 +526,8 @@ func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
 func (t *Tape) Exp(a *Node) *Node {
 	n := t.newOp(a.needGrad, func() *Matrix {
 		out := Get(a.Value.Rows, a.Value.Cols)
-		for i, v := range a.Value.Data {
-			out.Data[i] = math.Exp(math.Min(v, 40))
-		}
+		copy(out.Data, a.Value.Data)
+		backendImpl.VExp(out.Data)
 		return out
 	}, a)
 	n.backward = func() {

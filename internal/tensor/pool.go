@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // This file implements the pooled matrix arena: a process-wide,
@@ -176,6 +177,34 @@ func shardHint() int {
 	return int(rand.Uint32N(uint32(poolShards)))
 }
 
+// cacheLineFloats is the allocation alignment in float64s: 64 bytes, one
+// cache line and one AVX-512 vector. Go only guarantees 8-byte alignment
+// for float64 slices; the arena over-allocates by one line and slides the
+// base so every pooled buffer starts on a line boundary. SIMD kernels
+// then never split a vector load across lines, and two matrices never
+// false-share a line. The aligned 3-index reslice keeps cap at the exact
+// bucket size, so Put's power-of-two check and the byte accounting are
+// untouched (the hidden prefix is retained by the slice's backing array).
+const cacheLineFloats = 8
+
+// alignedAlloc returns a zeroed n-float slice (n a bucket size) whose
+// base address is 64-byte aligned and whose cap is exactly n.
+func alignedAlloc(n int) []float64 {
+	raw := make([]float64, n+cacheLineFloats-1)
+	off := 0
+	if r := uintptr(unsafe.Pointer(&raw[0])) & 63; r != 0 {
+		off = int((64 - r) / 8)
+	}
+	return raw[off : off+n : off+n]
+}
+
+// matrixHeaders recycles Matrix structs alongside the buffer arena so a
+// warm Get/Put cycle performs no allocation at all: the buffer comes from
+// a shard free list, the header from here. Put detaches the buffer before
+// recycling the header, so a stale reference to a Put matrix can never
+// reach a recycled buffer through it.
+var matrixHeaders = sync.Pool{New: func() any { return new(Matrix) }}
+
 // bucketIndex returns the arena bucket for a buffer of n floats, or -1
 // when n is zero or exceeds the largest bucket.
 func bucketIndex(n int) int {
@@ -219,7 +248,7 @@ func Get(rows, cols int) *Matrix {
 		data = bp.overflow.pop(false)
 	}
 	if data == nil {
-		data = make([]float64, 1<<(idx+minBucketBits))
+		data = alignedAlloc(1 << (idx + minBucketBits))
 	} else {
 		sc.hits.Add(1)
 		data = data[:n]
@@ -227,7 +256,9 @@ func Get(rows, cols int) *Matrix {
 			data[i] = 0
 		}
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: data[:n]}
+	m := matrixHeaders.Get().(*Matrix)
+	m.Rows, m.Cols, m.Data = rows, cols, data[:n]
+	return m
 }
 
 // Put returns m's buffer to the arena. The caller relinquishes the buffer:
@@ -251,6 +282,12 @@ func Put(m *Matrix) {
 	shardStats[h].frees.Add(1)
 	trackPoolLive(-int64(c) * 8)
 	buf := m.Data[:c]
+	// Recycle the header only on the pooled path: double-Putting a pooled
+	// buffer is already fatal (the free list would hand it out twice), so
+	// header reuse adds no new hazard there, while the early returns above
+	// keep today's forgiving behaviour for views and odd-size matrices.
+	m.Rows, m.Cols, m.Data = 0, 0, nil
+	matrixHeaders.Put(m)
 	if bp.shards[h].push(buf, maxShardBytes) {
 		return
 	}
