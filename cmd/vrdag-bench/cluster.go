@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vrdag/internal/cluster"
+	"vrdag/internal/core"
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/server"
+)
+
+// The serve/cluster-ingest scenario measures the cost of the cluster
+// routing layer: the same session-ingest workload is driven through a
+// single node (no replication — a lone node acks locally) and through an
+// N-node cluster (consistent-hash routing plus synchronous R=2
+// replication), and the N-node result carries its aggregate RPS relative
+// to the single node as speedup_vs_1_node. All nodes share one process,
+// so the figure isolates the protocol overhead — proxy hop, CRC, replica
+// fold, ack round-trip — rather than multi-machine scaling.
+
+// swapHandler lets the httptest listeners exist (so the peer URLs are
+// known) before the cluster nodes that serve them are constructed.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.NotFound(w, r)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// runClusterIngestBench runs the ingest workload at 1 node and at
+// o.clusterNodes nodes, stamping the multi-node result with its speedup
+// (usually a slowdown — replication is not free) versus the single node.
+func runClusterIngestBench(o serveOptions, m *core.Model, g *dyngraph.Sequence) ([]serveResult, error) {
+	counts := []int{1}
+	if o.clusterNodes > 1 {
+		counts = append(counts, o.clusterNodes)
+	}
+	var results []serveResult
+	var base float64
+	for _, n := range counts {
+		res, err := clusterIngestRun(o, m, g, n)
+		if err != nil {
+			return results, fmt.Errorf("%d nodes: %w", n, err)
+		}
+		if n == 1 {
+			base = res.RPS
+		} else if base > 0 {
+			res.SpeedupVs1 = res.RPS / base
+		}
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr, "serve-bench: %-16s %7.1f req/s  p50 %8.2f ms  p99 %8.2f ms  errors %d  nodes %d\n",
+			res.Name, res.RPS, res.P50MS, res.P99MS, res.Errors, res.Nodes)
+	}
+	return results, nil
+}
+
+func clusterIngestRun(o serveOptions, m *core.Model, g *dyngraph.Sequence, nodes int) (serveResult, error) {
+	type member struct {
+		srv  *server.Server
+		node *cluster.Node
+		ts   *httptest.Server
+		h    *swapHandler
+	}
+	members := make([]*member, nodes)
+	urls := make([]string, nodes)
+	for i := range members {
+		h := &swapHandler{}
+		members[i] = &member{ts: httptest.NewServer(h), h: h}
+		urls[i] = members[i].ts.URL
+	}
+	defer func() {
+		for _, mb := range members {
+			mb.ts.Close()
+			if mb.node != nil {
+				mb.node.Close()
+			}
+			if mb.srv != nil {
+				mb.srv.Close()
+			}
+		}
+	}()
+	for i, mb := range members {
+		mb.srv = server.New(server.Config{
+			Queue:  4 * o.clients,
+			Logger: log.New(io.Discard, "", 0),
+		})
+		if err := mb.srv.Register("bench", m, g); err != nil {
+			return serveResult{}, err
+		}
+		nd, err := cluster.NewNode(mb.srv, cluster.Config{
+			Self:   urls[i],
+			Peers:  urls,
+			Logger: log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			return serveResult{}, err
+		}
+		mb.node = nd
+		mb.h.set(nd)
+	}
+
+	resetPeakRSS()
+	latencies := make([]time.Duration, o.requests)
+	var errCount atomic.Int64
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			// Each client owns its session (the window cursor needs
+			// monotonic time per session) and enters through a fixed
+			// node; the ring scatters the sessions' primaries, so every
+			// node both fronts and replicates.
+			session := fmt.Sprintf("cluster-c%d", c)
+			via := urls[c%len(urls)]
+			step := 0
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.requests {
+					return
+				}
+				var sb strings.Builder
+				sb.WriteString("src,dst,t\n")
+				for e := 0; e < 16; e++ {
+					fmt.Fprintf(&sb, "n%d,n%d,%d\n", e%8, (e+1+step)%8, step)
+				}
+				step++
+				reqStart := time.Now()
+				resp, err := client.Post(via+"/v1/ingest?session="+session, "text/csv",
+					strings.NewReader(sb.String()))
+				latencies[i] = time.Since(reqStart)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return serveResult{
+		Name:         "serve/cluster-ingest",
+		Clients:      o.clients,
+		Requests:     o.requests,
+		T:            o.t,
+		Nodes:        nodes,
+		RPS:          float64(o.requests) / elapsed.Seconds(),
+		P50MS:        float64(percentile(latencies, 0.50).Microseconds()) / 1000,
+		P99MS:        float64(percentile(latencies, 0.99).Microseconds()) / 1000,
+		Errors:       int(errCount.Load()),
+		PeakRSSBytes: peakRSS(),
+	}, nil
+}

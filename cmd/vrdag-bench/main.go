@@ -52,6 +52,7 @@ func main() {
 		serveT        = flag.Int("serve-t", 32, "snapshots per generation request")
 		serveN        = flag.Int("serve-n", 48, "nodes in the benchmark model")
 		serveEpochs   = flag.Int("serve-epochs", 3, "training epochs for the benchmark model")
+		serveCluster  = flag.Int("serve-cluster-nodes", 3, "nodes in the cluster ingest scenario (0 skips it)")
 		serveOut      = flag.String("serve-out", "", "write serve-bench JSON here (default stdout)")
 
 		train        = flag.Bool("train", false, "run the training-path benchmark instead of paper experiments")
@@ -104,13 +105,14 @@ func main() {
 
 	if *serve {
 		err := runServeBench(serveOptions{
-			clients:  *serveClients,
-			requests: *serveRequests,
-			t:        *serveT,
-			n:        *serveN,
-			epochs:   *serveEpochs,
-			seed:     *seed,
-			out:      *serveOut,
+			clients:      *serveClients,
+			requests:     *serveRequests,
+			t:            *serveT,
+			n:            *serveN,
+			epochs:       *serveEpochs,
+			seed:         *seed,
+			clusterNodes: *serveCluster,
+			out:          *serveOut,
 		})
 		if err != nil {
 			log.Fatalf("vrdag-bench: serve: %v", err)

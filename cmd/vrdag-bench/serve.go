@@ -34,13 +34,14 @@ import (
 // kernels'.
 
 type serveOptions struct {
-	clients  int
-	requests int
-	t        int
-	n        int
-	epochs   int
-	seed     int64
-	out      string
+	clients      int
+	requests     int
+	t            int
+	n            int
+	epochs       int
+	seed         int64
+	clusterNodes int
+	out          string
 }
 
 type serveResult struct {
@@ -54,6 +55,12 @@ type serveResult struct {
 	Errors       int     `json:"errors"`
 	Snapshots    int64   `json:"snapshots"` // total snapshots received across requests
 	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+
+	// Cluster fields, present only for the serve/cluster-ingest scenario:
+	// how many routing nodes served the workload and the aggregate RPS
+	// relative to the single-node run of the same workload.
+	Nodes      int     `json:"nodes,omitempty"`
+	SpeedupVs1 float64 `json:"speedup_vs_1_node,omitempty"`
 
 	// Durability fields, present only for the serve/ingest-durable
 	// scenario: WAL appends and fsync latency during the load phase, and
@@ -164,6 +171,14 @@ func runServeBench(o serveOptions) error {
 		results = append(results, res)
 		fmt.Fprintf(os.Stderr, "serve-bench: %-16s %7.1f req/s  p50 %8.2f ms  p99 %8.2f ms  errors %d  wal %d  fsync p99 %.2f ms  recovery %.1f ms\n",
 			res.Name, res.RPS, res.P50MS, res.P99MS, res.Errors, res.WALAppends, res.FsyncP99MS, res.RecoveryMS)
+	}
+
+	if o.clusterNodes > 0 {
+		if cres, err := runClusterIngestBench(o, m, g); err != nil {
+			fmt.Fprintf(os.Stderr, "serve-bench: cluster scenario skipped: %v\n", err)
+		} else {
+			results = append(results, cres...)
+		}
 	}
 
 	enc, err := json.MarshalIndent(results, "", "  ")

@@ -18,7 +18,12 @@
 // durable: every ingest is WAL-appended and fsynced before it is
 // acknowledged, snapshots compact the log, and a restarted server
 // recovers all sessions — kill -9 included — with forecasts identical
-// to the pre-crash state. On SIGINT/SIGTERM the server stops admitting work,
+// to the pre-crash state. With -peers/-advertise, several processes form
+// a cluster: forecast sessions are placed on a consistent-hash ring with
+// -replicas copies, any node routes session traffic to its primary, a
+// killed primary fails over to its replica with byte-identical forecasts,
+// and -quota-rate meters tenants (X-Vrdag-Tenant) with per-tenant 429s.
+// On SIGINT/SIGTERM the server stops admitting work,
 // signals in-flight streaming responses to finish the snapshot they are
 // on and append a truncation trailer, and drains everything within
 // -drain before exiting — connections are handed a well-formed end of
@@ -39,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"vrdag/internal/cluster"
 	"vrdag/internal/core"
 	"vrdag/internal/datasets"
 	"vrdag/internal/dyngraph"
@@ -63,6 +69,18 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "persist forecast sessions under this directory (WAL + snapshots); empty keeps sessions in memory only")
 		snapEvery   = flag.Int("snapshot-every", 0, "compact a session's WAL into a snapshot every N ingests (0 = default 8; needs -data-dir)")
 		maxResident = flag.Int("max-resident", 0, "sessions kept decoded in memory; idler ones spill to disk (0 = no cap beyond -data-dir defaults)")
+
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request handler deadline, streaming responses included (0 = unbounded)")
+		headerRead  = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+
+		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster node (this one included); empty runs single-node")
+		advertise  = flag.String("advertise", "", "this node's base URL as it appears in -peers (required with -peers)")
+		replicas   = flag.Int("replicas", 2, "copies per forecast session, primary included (cluster mode)")
+		clusterAck = flag.String("cluster-ack", "replicate", "ingest ack mode: replicate (confirm follower applied) or local (replicate async)")
+
+		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant admission quota in requests/sec (X-Vrdag-Tenant header; 0 disables)")
+		quotaBurst = flag.Int("quota-burst", 0, "per-tenant quota burst capacity (0 = ceil(quota-rate))")
 	)
 	modelFlags := map[string]string{}
 	flag.Func("model", "checkpoint to serve, as name=path (repeatable)", func(v string) error {
@@ -80,6 +98,7 @@ func main() {
 	srv := server.New(server.Config{
 		Workers: *workers, Queue: *queue, MaxT: *maxT, Logger: logger,
 		DataDir: *dataDir, SnapshotEvery: *snapEvery, MaxResident: *maxResident,
+		QuotaRate: *quotaRate, QuotaBurst: *quotaBurst, RequestTimeout: *reqTimeout,
 	})
 
 	for name, path := range modelFlags {
@@ -157,7 +176,45 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// In cluster mode the node wraps the server: session traffic routes to
+	// its primary across the peer set, everything else stays local.
+	var handler http.Handler = srv
+	var node *cluster.Node
+	if *peers != "" {
+		if *advertise == "" {
+			logger.Fatalf("-peers requires -advertise (this node's URL within the peer list)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+		var err error
+		node, err = cluster.NewNode(srv, cluster.Config{
+			Self:     strings.TrimRight(*advertise, "/"),
+			Peers:    peerList,
+			Replicas: *replicas,
+			AckLocal: *clusterAck == "local",
+			Logger:   logger,
+		})
+		if err != nil {
+			logger.Fatalf("cluster: %v", err)
+		}
+		handler = node
+		logger.Printf("cluster mode: %d peers, %d replicas, ack=%s", len(peerList), *replicas, *clusterAck)
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Explicit connection timeouts: a client trickling header bytes
+		// (slowloris) or parking idle keep-alives cannot hold sockets
+		// open indefinitely. Request bodies and streaming responses stay
+		// unbounded here; -request-timeout governs handler work.
+		ReadHeaderTimeout: *headerRead,
+		IdleTimeout:       *idleTimeout,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -171,15 +228,24 @@ func main() {
 	case <-ctx.Done():
 	}
 	logger.Printf("shutting down: draining in-flight responses (deadline %s)", *drain)
-	// BeginDrain first: streaming handlers see it at their next snapshot,
-	// emit a truncation trailer, and end their responses, which lets
-	// Shutdown's connection-drain finish well inside the deadline instead
-	// of cutting long-lived streams off mid-line.
+	// Cluster drain first: peers route our sessions to their replicas and
+	// the replication queues flush, so followers hold the full
+	// acknowledged prefix before we stop serving. Then BeginDrain:
+	// streaming handlers see it at their next snapshot, emit a truncation
+	// trailer, and end their responses, which lets Shutdown's
+	// connection-drain finish well inside the deadline instead of cutting
+	// long-lived streams off mid-line.
+	if node != nil {
+		node.Drain(*drain / 2)
+	}
 	srv.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		logger.Printf("shutdown: %v", err)
+	}
+	if node != nil {
+		node.Close()
 	}
 	srv.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

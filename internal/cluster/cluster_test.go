@@ -1,0 +1,627 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vrdag/internal/core"
+	"vrdag/internal/datasets"
+	"vrdag/internal/dyngraph"
+	"vrdag/internal/server"
+)
+
+// One small model per test process, shared read-only by every node of
+// every test cluster (matching the server package's trainedModel idiom).
+var (
+	cmOnce  sync.Once
+	cmModel *core.Model
+	cmRef   *dyngraph.Sequence
+	cmErr   error
+)
+
+func clusterModel(t *testing.T) (*core.Model, *dyngraph.Sequence) {
+	t.Helper()
+	cmOnce.Do(func() {
+		cmRef = datasets.Generate(datasets.Config{
+			Name: "t", N: 24, T: 6, F: 2, EdgesPerStep: 40, Communities: 2, Seed: 3,
+		})
+		cfg := core.DefaultConfig(cmRef.N, cmRef.F)
+		cfg.Epochs = 2
+		cfg.Seed = 3
+		cmModel = core.New(cfg)
+		_, cmErr = cmModel.Fit(cmRef)
+	})
+	if cmErr != nil {
+		t.Fatalf("shared model setup: %v", cmErr)
+	}
+	return cmModel, cmRef
+}
+
+// chunkCSV renders one reference snapshot as an ingest body whose time
+// column is step, so consecutive chunks fold as consecutive windows.
+func chunkCSV(ref *dyngraph.Sequence, step int) string {
+	var sb strings.Builder
+	sb.WriteString("src,dst,t\n")
+	s := ref.At(step % ref.T())
+	for u := 0; u < s.N; u++ {
+		for _, v := range s.Out[u] {
+			fmt.Fprintf(&sb, "n%d,n%d,%d\n", u, v, step)
+		}
+	}
+	return sb.String()
+}
+
+// swapHandler lets the httptest listeners start (fixing the peer URLs)
+// before the Nodes that serve them exist.
+type swapHandler struct{ v atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.v.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "node not ready", http.StatusServiceUnavailable)
+}
+
+// testCluster is an in-process N-node vrdag cluster with every cross-node
+// request running through one shared FaultTransport.
+type testCluster struct {
+	t      *testing.T
+	ft     *FaultTransport
+	urls   []string
+	hosts  []string
+	srvs   []*server.Server
+	nodes  []*Node
+	ts     []*httptest.Server
+	killed []bool
+}
+
+func newTestCluster(t *testing.T, size int, mutate func(i int, cfg *Config)) *testCluster {
+	t.Helper()
+	m, ref := clusterModel(t)
+	c := &testCluster{t: t, ft: NewFaultTransport(nil), killed: make([]bool, size)}
+	discard := log.New(io.Discard, "", 0)
+	handlers := make([]*swapHandler, size)
+	for i := 0; i < size; i++ {
+		handlers[i] = &swapHandler{}
+		ts := httptest.NewServer(handlers[i])
+		c.ts = append(c.ts, ts)
+		c.urls = append(c.urls, ts.URL)
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			t.Fatalf("parse %s: %v", ts.URL, err)
+		}
+		c.hosts = append(c.hosts, u.Host)
+	}
+	for i := 0; i < size; i++ {
+		s := server.New(server.Config{Queue: 64, Logger: discard})
+		if err := s.Register("email", m, ref); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		cfg := Config{
+			Self:  c.urls[i],
+			Peers: append([]string(nil), c.urls...),
+			Membership: MembershipConfig{
+				ProbeInterval: 25 * time.Millisecond,
+				ProbeTimeout:  500 * time.Millisecond,
+				MaxBackoff:    250 * time.Millisecond,
+				DownAfter:     2,
+			},
+			ProxyBackoff: 10 * time.Millisecond,
+			Transport:    c.ft,
+			Logger:       discard,
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		node, err := NewNode(s, cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		handlers[i].v.Store(node)
+		c.srvs = append(c.srvs, s)
+		c.nodes = append(c.nodes, node)
+	}
+	t.Cleanup(func() {
+		for i := range c.ts {
+			if !c.killed[i] {
+				c.ts[i].Close()
+			}
+			c.nodes[i].Close()
+			c.srvs[i].Close()
+		}
+	})
+	return c
+}
+
+// kill closes a node's listener: in-flight requests finish, new
+// connections are refused — a kill -9 as its peers observe it.
+func (c *testCluster) kill(i int) {
+	c.killed[i] = true
+	c.ts[i].Close()
+}
+
+func (c *testCluster) index(url string) int {
+	for i, u := range c.urls {
+		if u == url {
+			return i
+		}
+	}
+	c.t.Fatalf("unknown node %s", url)
+	return -1
+}
+
+// placement returns a session's primary and first-replica node indices.
+func (c *testCluster) placement(sess string) (primary, follower int) {
+	owners := c.nodes[0].staticOwners(sess)
+	if len(owners) < 2 {
+		c.t.Fatalf("session %q: want 2 owners, got %v", sess, owners)
+	}
+	return c.index(owners[0]), c.index(owners[1])
+}
+
+// other returns a node index not in used.
+func (c *testCluster) other(used ...int) int {
+	for i := range c.urls {
+		skip := false
+		for _, j := range used {
+			if i == j {
+				skip = true
+			}
+		}
+		if !skip {
+			return i
+		}
+	}
+	c.t.Fatal("no spare node")
+	return -1
+}
+
+func (c *testCluster) ingest(via int, sess string, step int) (status int, ack string, out server.IngestResponse) {
+	c.t.Helper()
+	_, ref := clusterModel(c.t)
+	resp, err := http.Post(c.urls[via]+"/v1/ingest?session="+sess, "text/csv",
+		strings.NewReader(chunkCSV(ref, step)))
+	if err != nil {
+		c.t.Fatalf("ingest %s step %d via node %d: %v", sess, step, via, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &out); err != nil {
+			c.t.Fatalf("ingest %s: decode %q: %v", sess, data, err)
+		}
+	}
+	return resp.StatusCode, resp.Header.Get(server.HeaderAck), out
+}
+
+func (c *testCluster) mustIngest(via int, sess string, step int, wantAck string) server.IngestResponse {
+	c.t.Helper()
+	status, ack, out := c.ingest(via, sess, step)
+	if status != http.StatusOK {
+		c.t.Fatalf("ingest %s step %d via node %d: status %d", sess, step, via, status)
+	}
+	if wantAck != "" && ack != wantAck {
+		c.t.Fatalf("ingest %s step %d via node %d: ack %q, want %q", sess, step, via, ack, wantAck)
+	}
+	return out
+}
+
+// forecastAt runs a pinned-seed forecast against any base URL and returns
+// the response's steps plus the forecast sequence serialized canonically —
+// the byte-identity unit the failover tests compare.
+func forecastAt(t *testing.T, baseURL, sess string, seed int64, T int) (status, steps int, seqJSON string) {
+	t.Helper()
+	body, _ := json.Marshal(server.ForecastRequest{Session: sess, T: T, Seed: &seed})
+	resp, err := http.Post(baseURL+"/v1/forecast", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("forecast %s at %s: %v", sess, baseURL, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, 0, string(data)
+	}
+	var out server.ForecastResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("forecast %s: decode: %v", sess, err)
+	}
+	seq, _ := json.Marshal(out.Sequence)
+	return resp.StatusCode, out.Steps, string(seq)
+}
+
+func (c *testCluster) forecast(via int, sess string, seed int64, T int) (int, int, string) {
+	c.t.Helper()
+	return forecastAt(c.t, c.urls[via], sess, seed, T)
+}
+
+func (c *testCluster) mustForecast(via int, sess string, seed int64, T int) (int, string) {
+	c.t.Helper()
+	status, steps, seq := c.forecast(via, sess, seed, T)
+	if status != http.StatusOK {
+		c.t.Fatalf("forecast %s via node %d: status %d: %s", sess, via, status, seq)
+	}
+	return steps, seq
+}
+
+// waitReplicationDrained blocks until node i's catch-up queues are empty
+// (payloads pop only after the follower confirmed them).
+func (c *testCluster) waitReplicationDrained(i int, timeout time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		drained := true
+		for _, rs := range c.nodes[i].Stats().Replication {
+			if rs.QueueLen > 0 {
+				drained = false
+			}
+		}
+		if drained {
+			return
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("node %d replication queues never drained: %+v", i, c.nodes[i].Stats().Replication)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitPeerState blocks until node i's membership sees peer in state.
+func (c *testCluster) waitPeerState(i int, peer, state string, timeout time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, ph := range c.nodes[i].members.Snapshot() {
+			if ph.Peer == peer && ph.State == state {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("node %d never saw %s as %s: %+v", i, peer, state, c.nodes[i].members.Snapshot())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestClusterRoutesSessionTrafficFromAnyNode(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	sess := "routed"
+	p, f := c.placement(sess)
+	third := c.other(p, f)
+
+	// Ingest through every node: all three land on the same primary, in
+	// order, each replicated before the ack.
+	c.mustIngest(p, sess, 0, "replicated")
+	c.mustIngest(f, sess, 1, "replicated")
+	out := c.mustIngest(third, sess, 2, "replicated")
+	if out.Steps != 3 {
+		t.Fatalf("cumulative steps %d, want 3", out.Steps)
+	}
+
+	// Same forecast bytes regardless of entry node.
+	steps0, seq0 := c.mustForecast(p, sess, 42, 3)
+	if steps0 != 3 {
+		t.Fatalf("forecast steps %d, want 3", steps0)
+	}
+	for _, via := range []int{f, third} {
+		if _, seq := c.mustForecast(via, sess, 42, 3); seq != seq0 {
+			t.Fatalf("forecast via node %d differs from primary's", via)
+		}
+	}
+
+	// The fan-out listing dedups the replica copy and attributes the
+	// session to its primary.
+	resp, err := http.Get(c.urls[third] + "/v1/ingest")
+	if err != nil {
+		t.Fatalf("list sessions: %v", err)
+	}
+	var infos []server.SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatalf("decode listing: %v", err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Session != sess || infos[0].Node != c.urls[p] || infos[0].Steps != 3 {
+		t.Fatalf("merged listing wrong: %+v", infos)
+	}
+
+	ps, fs := c.nodes[p].Stats(), c.nodes[f].Stats()
+	if ps.AckReplicated != 3 {
+		t.Fatalf("primary ack_replicated %d, want 3", ps.AckReplicated)
+	}
+	if fs.ReplicaApplied != 3 {
+		t.Fatalf("follower replica_applied %d, want 3", fs.ReplicaApplied)
+	}
+}
+
+func TestClusterFailoverForecastsAreByteIdentical(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	sess := "failover"
+	p, f := c.placement(sess)
+	third := c.other(p, f)
+
+	for step := 0; step < 3; step++ {
+		c.mustIngest(third, sess, step, "replicated")
+	}
+	_, before := c.mustForecast(third, sess, 7, 4)
+
+	c.kill(p)
+
+	// The first post-kill request discovers the death itself: connection
+	// refused is a safe retry, so it fails over within the request.
+	steps, after := c.mustForecast(third, sess, 7, 4)
+	if steps != 3 {
+		t.Fatalf("post-failover steps %d, want 3", steps)
+	}
+	if after != before {
+		t.Fatal("post-failover forecast is not byte-identical to the pre-failover one")
+	}
+	if _, direct := c.mustForecast(f, sess, 7, 4); direct != before {
+		t.Fatal("forecast served by the promoted follower differs")
+	}
+
+	// Writes keep flowing: the follower acts as primary (acking local —
+	// its own replica target is the dead node).
+	out := c.mustIngest(third, sess, 3, "local")
+	if out.Steps != 4 {
+		t.Fatalf("post-failover ingest steps %d, want 4", out.Steps)
+	}
+	if steps, _ := c.mustForecast(third, sess, 7, 4); steps != 4 {
+		t.Fatalf("steps after post-failover ingest %d, want 4", steps)
+	}
+}
+
+// TestClusterTornReplicationEveryOffset tears the replication stream at
+// every interesting body offset — before the first byte, mid-frame, one
+// short of complete, and exactly complete (delivered, but the sender saw a
+// failure). The checksum rejects every partial body, the sequence number
+// dedups the delivered-but-unacked one, the catch-up queue replays, and
+// the follower converges to the primary's exact state.
+func TestClusterTornReplicationEveryOffset(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	sess := "torn"
+	p, f := c.placement(sess)
+	third := c.other(p, f)
+	_, ref := clusterModel(t)
+
+	for step := 0; step < 5; step++ {
+		body := chunkCSV(ref, step)
+		offsets := []int{0, 1, len(body) / 2, len(body) - 1, len(body)}
+		c.ft.Tear(c.hosts[f], offsets[step])
+		// The torn sync send fails, so the primary acks local and the
+		// payload joins the ordered catch-up queue; the tear is one-shot,
+		// so the flusher's resend goes through whole.
+		c.mustIngest(p, sess, step, "local")
+		c.waitReplicationDrained(p, 10*time.Second)
+	}
+
+	fs := c.nodes[f].Stats()
+	if fs.ReplicaApplied != 5 {
+		t.Fatalf("follower applied %d chunks, want 5 (stats %+v)", fs.ReplicaApplied, fs)
+	}
+	if fs.ReplicaRejected < 4 {
+		t.Fatalf("follower rejected %d torn bodies, want >= 4", fs.ReplicaRejected)
+	}
+	if fs.ReplicaSkipped < 1 {
+		t.Fatal("full-length tear: the resend of the delivered payload should have been sequence-skipped")
+	}
+
+	_, before := c.mustForecast(p, sess, 11, 3)
+	c.kill(p)
+	steps, after := c.mustForecast(third, sess, 11, 3)
+	if steps != 5 || after != before {
+		t.Fatalf("failover after torn-stream recovery: steps %d (want 5), identical=%v", steps, after == before)
+	}
+}
+
+func TestClusterDegradedAckLocalAndCatchUp(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	sess := "degraded"
+	p, f := c.placement(sess)
+	third := c.other(p, f)
+
+	c.ft.SetRule(c.hosts[f], FaultRule{Partition: true})
+
+	// Partitioned follower: the primary degrades to ack-local and the
+	// replication-lag gauge reports the growing debt.
+	c.mustIngest(p, sess, 0, "local")
+	c.mustIngest(p, sess, 1, "local")
+	var lag ReplicatorStats
+	for _, rs := range c.nodes[p].Stats().Replication {
+		if rs.Peer == c.urls[f] {
+			lag = rs
+		}
+	}
+	if lag.QueueLen != 2 || lag.QueueBytes <= 0 {
+		t.Fatalf("replication-lag gauge: %+v, want 2 queued payloads", lag)
+	}
+	if s := c.nodes[p].Stats(); s.AckLocal != 2 {
+		t.Fatalf("ack_local %d, want 2", s.AckLocal)
+	}
+
+	// Heal: the queue replays in order, the follower returns to the
+	// replica set, and acks go back to "replicated".
+	c.ft.Heal(c.hosts[f])
+	c.waitReplicationDrained(p, 10*time.Second)
+	if fs := c.nodes[f].Stats(); fs.ReplicaApplied != 2 {
+		t.Fatalf("follower applied %d, want 2 after catch-up", fs.ReplicaApplied)
+	}
+	c.waitPeerState(p, c.urls[f], "alive", 5*time.Second)
+	c.mustIngest(p, sess, 2, "replicated")
+
+	_, before := c.mustForecast(p, sess, 5, 3)
+	c.kill(p)
+	steps, after := c.mustForecast(third, sess, 5, 3)
+	if steps != 3 || after != before {
+		t.Fatalf("failover after catch-up: steps %d (want 3), identical=%v", steps, after == before)
+	}
+}
+
+func TestClusterDuplicateDeliveryFoldsOnce(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	sess := "dup"
+	p, f := c.placement(sess)
+	third := c.other(p, f)
+
+	c.ft.SetRule(c.hosts[f], FaultRule{DuplicateNext: true})
+	c.mustIngest(p, sess, 0, "replicated")
+	c.mustIngest(p, sess, 1, "replicated")
+
+	fs := c.nodes[f].Stats()
+	if fs.ReplicaApplied != 2 {
+		t.Fatalf("follower applied %d, want 2 (duplicate must not double-fold)", fs.ReplicaApplied)
+	}
+	if fs.ReplicaSkipped != 1 {
+		t.Fatalf("follower skipped %d, want exactly the 1 duplicated delivery", fs.ReplicaSkipped)
+	}
+
+	_, before := c.mustForecast(p, sess, 13, 3)
+	c.kill(p)
+	steps, after := c.mustForecast(third, sess, 13, 3)
+	if steps != 2 || after != before {
+		t.Fatalf("follower state diverged after duplicate delivery: steps %d, identical=%v", steps, after == before)
+	}
+}
+
+func TestClusterDrainHandsSessionsOff(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	sess := "drained"
+	p, f := c.placement(sess)
+	third := c.other(p, f)
+
+	c.mustIngest(third, sess, 0, "replicated")
+	c.mustIngest(third, sess, 1, "replicated")
+	_, before := c.mustForecast(third, sess, 9, 3)
+
+	c.nodes[p].Drain(2 * time.Second)
+
+	// The draining node's healthz flips to 503/"draining" so peers route
+	// around it without counting it dead.
+	resp, err := http.Get(c.urls[p] + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz on draining node: %v", err)
+	}
+	var health server.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Fatalf("draining healthz: status %d %q", resp.StatusCode, health.Status)
+	}
+	c.waitPeerState(third, c.urls[p], "draining", 5*time.Second)
+
+	// The drained node still answers — by proxying its sessions to the
+	// follower, which now acts as primary.
+	steps, after := c.mustForecast(p, sess, 9, 3)
+	if steps != 2 || after != before {
+		t.Fatal("forecast through the draining node must be served, unchanged, by the follower")
+	}
+	out := c.mustIngest(p, sess, 2, "")
+	if out.Steps != 3 {
+		t.Fatalf("ingest through draining node: steps %d, want 3", out.Steps)
+	}
+	if steps, _ := c.mustForecast(third, sess, 9, 3); steps != 3 {
+		t.Fatalf("steps after drain handoff %d, want 3", steps)
+	}
+}
+
+func TestClusterSingleNodeActsStandalone(t *testing.T) {
+	c := newTestCluster(t, 1, nil)
+	out := c.mustIngest(0, "solo", 0, "local") // nothing to replicate to
+	if out.Steps != 1 {
+		t.Fatalf("steps %d, want 1", out.Steps)
+	}
+	if steps, _ := c.mustForecast(0, "solo", 3, 2); steps != 1 {
+		t.Fatalf("forecast steps %d, want 1", steps)
+	}
+}
+
+// TestClusterChaosKillDuringTraffic is the chaos smoke: concurrent
+// multi-session ingest across every node while one node is killed
+// mid-wave. Every acknowledged chunk must survive into the failover state:
+// each session's post-chaos forecast is compared byte-for-byte against a
+// single standalone server fed the same acknowledged bodies in the same
+// order.
+func TestClusterChaosKillDuringTraffic(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	m, ref := clusterModel(t)
+
+	refSrv := server.New(server.Config{Queue: 64, Logger: log.New(io.Discard, "", 0)})
+	if err := refSrv.Register("email", m, ref); err != nil {
+		t.Fatalf("register reference: %v", err)
+	}
+	refTS := httptest.NewServer(refSrv)
+	t.Cleanup(func() { refTS.Close(); refSrv.Close() })
+
+	const sessions, waves = 5, 4
+	victim := 1
+	sessName := func(i int) string { return fmt.Sprintf("chaos-%d", i) }
+
+	for wave := 0; wave < waves; wave++ {
+		if wave == 2 {
+			// kill -9 the victim concurrently with the wave: in-flight
+			// requests complete, new connections are refused and fail over.
+			go c.kill(victim)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i, wave int) {
+				defer wg.Done()
+				via := (i + wave) % len(c.urls)
+				if wave >= 2 && via == victim {
+					via = (via + 1) % len(c.urls)
+				}
+				status, _, _ := c.ingest(via, sessName(i), wave)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("session %s wave %d via node %d: status %d", sessName(i), wave, via, status)
+				}
+			}(i, wave)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+
+	// Feed the reference server the same acknowledged bodies in the same
+	// per-session order, then demand byte-identical forecasts from the
+	// survivors.
+	survivor := c.other(victim)
+	for i := 0; i < sessions; i++ {
+		for wave := 0; wave < waves; wave++ {
+			resp, err := http.Post(refTS.URL+"/v1/ingest?session="+sessName(i), "text/csv",
+				strings.NewReader(chunkCSV(ref, wave)))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("reference ingest %s wave %d: %v (status %d)", sessName(i), wave, err, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+		seed := int64(100 + i)
+		_, wantSteps, want := forecastAt(t, refTS.URL, sessName(i), seed, 3)
+		if wantSteps != waves {
+			t.Fatalf("reference %s: steps %d, want %d", sessName(i), wantSteps, waves)
+		}
+		status, steps, got := forecastAt(t, c.urls[survivor], sessName(i), seed, 3)
+		if status != http.StatusOK {
+			t.Fatalf("post-chaos forecast %s: status %d: %s", sessName(i), status, got)
+		}
+		if steps != waves || got != want {
+			t.Fatalf("session %s diverged after chaos: steps %d (want %d), identical=%v",
+				sessName(i), steps, waves, got == want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMembershipStateMachine(t *testing.T) {
+	m := NewMembership([]string{"http://p:1"}, MembershipConfig{DownAfter: 3}, nil)
+	p := "http://p:1"
+	if m.State(p) != StateAlive || !m.Routable(p) {
+		t.Fatalf("peer should start alive and routable")
+	}
+	boom := errors.New("boom")
+	m.ReportFailure(p, boom)
+	if m.State(p) != StateSuspect {
+		t.Fatalf("after 1 failure want suspect, got %v", m.State(p))
+	}
+	if !m.Routable(p) {
+		t.Fatal("a suspect peer must stay routable — one dropped probe must not reshuffle placement")
+	}
+	m.ReportFailure(p, boom)
+	m.ReportFailure(p, boom)
+	if m.State(p) != StateDown || m.Routable(p) {
+		t.Fatalf("after 3 failures want down+unroutable, got %v", m.State(p))
+	}
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].State != "down" || snap[0].Failures != 3 || snap[0].LastErr != "boom" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	m.ReportSuccess(p)
+	if m.State(p) != StateAlive || !m.Routable(p) {
+		t.Fatalf("success must snap straight back to alive, got %v", m.State(p))
+	}
+}
+
+func TestMembershipDownBackoffGrows(t *testing.T) {
+	m := NewMembership([]string{"http://p:1"}, MembershipConfig{ProbeInterval: 100 * time.Millisecond, DownAfter: 1}, nil)
+	p := "http://p:1"
+	m.ReportFailure(p, errors.New("x"))
+	first := m.st[p].backoff
+	m.ReportFailure(p, errors.New("x"))
+	second := m.st[p].backoff
+	if second != 2*first {
+		t.Fatalf("backoff did not double: %v -> %v", first, second)
+	}
+	for i := 0; i < 20; i++ {
+		m.ReportFailure(p, errors.New("x"))
+	}
+	if m.st[p].backoff > m.cfg.MaxBackoff {
+		t.Fatalf("backoff %v exceeds cap %v", m.st[p].backoff, m.cfg.MaxBackoff)
+	}
+}
+
+func TestMembershipProbeHealthz(t *testing.T) {
+	var status atomic.Value
+	status.Store(`{"status":"ok"}`)
+	var code atomic.Int64
+	code.Store(http.StatusOK)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(int(code.Load()))
+		w.Write([]byte(status.Load().(string)))
+	}))
+	defer ts.Close()
+
+	m := NewMembership([]string{ts.URL}, MembershipConfig{ProbeTimeout: time.Second, DownAfter: 2}, nil)
+	m.probeOne(ts.URL)
+	if m.State(ts.URL) != StateAlive {
+		t.Fatalf("healthy probe: %v", m.State(ts.URL))
+	}
+
+	// A 503 whose body says draining is a healthy peer asking traffic to
+	// leave — draining, not failed.
+	status.Store(`{"status":"draining"}`)
+	code.Store(http.StatusServiceUnavailable)
+	m.probeOne(ts.URL)
+	if m.State(ts.URL) != StateDraining || m.Routable(ts.URL) {
+		t.Fatalf("draining probe: state %v routable %v", m.State(ts.URL), m.Routable(ts.URL))
+	}
+
+	status.Store(`{"status":"ok"}`)
+	code.Store(http.StatusOK)
+	m.probeOne(ts.URL)
+	if m.State(ts.URL) != StateAlive {
+		t.Fatalf("recovered probe: %v", m.State(ts.URL))
+	}
+
+	ts.Close()
+	m.probeOne(ts.URL)
+	m.probeOne(ts.URL)
+	if m.State(ts.URL) != StateDown {
+		t.Fatalf("dead peer after %d failed probes: %v", 2, m.State(ts.URL))
+	}
+}
+
+func TestMembershipProbeLoopDetectsDeath(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	m := NewMembership([]string{ts.URL}, MembershipConfig{
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		DownAfter:     2,
+	}, nil)
+	m.Start()
+	defer m.Stop()
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.State(ts.URL) != StateDown {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe loop never marked dead peer down (state %v)", m.State(ts.URL))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,124 @@
+// Package cluster turns a set of vrdag-serve processes into one logical
+// forecast service: a static peer list with health probing, consistent-hash
+// session placement with R-way replication, a routing front end that
+// proxies session traffic to its primary node, and failover that promotes
+// the replica when the primary dies — with forecasts byte-identical to the
+// pre-failover acknowledged prefix, because replication streams the exact
+// ingest bodies the primary folded and folding is deterministic.
+//
+// The layering: package server owns one node's sessions (WAL, snapshots,
+// recovery — see internal/durable); package cluster owns which node a
+// session lives on and keeps a second copy warm somewhere else. Nothing in
+// the replication path invents new state: a replica session is an ordinary
+// server session fed the same bytes in the same order.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerNode is the number of virtual points each node contributes to
+// the ring. 64 keeps the per-node share within a few percent of uniform
+// for small clusters while the ring stays tiny (a few KB).
+const vnodesPerNode = 64
+
+// Ring is an immutable consistent-hash ring over the configured peer set.
+// Placement is a pure function of the full membership list — every node
+// builds the same ring from the same -peers flag — and liveness is applied
+// at lookup time, so a node going down promotes the next live owner
+// without any re-hashing or coordination.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// NewRing builds the ring over the given node base URLs. Order does not
+// matter: nodes are sorted first so every peer derives identical placement
+// from the same set.
+func NewRing(nodes []string) *Ring {
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	r := &Ring{nodes: sorted}
+	r.points = make([]ringPoint, 0, len(sorted)*vnodesPerNode)
+	var buf [8]byte
+	for i, n := range sorted {
+		for v := 0; v < vnodesPerNode; v++ {
+			h := fnv.New64a()
+			h.Write([]byte(n))
+			buf[0] = '#'
+			buf[1] = byte(v)
+			buf[2] = byte(v >> 8)
+			h.Write(buf[:3])
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Nodes returns the full membership the ring was built over, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// mix64 is the murmur3 finalizer. FNV alone is too weak for ring points:
+// a vnode suffix only perturbs the low bits before the final multiplies,
+// so every node's 64 points form one constellation rotated by a per-node
+// constant and the interleaving — hence the load split — degenerates. The
+// finalizer's shift-xor rounds break that lattice.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// Owners returns up to n distinct nodes for key, walking clockwise from
+// the key's hash and skipping nodes the routable predicate rejects. The
+// first entry is the key's acting primary, the rest its replicas in
+// promotion order; with every node routable the assignment is stable, and
+// when the primary is down its first replica — which holds the session's
+// replicated state — surfaces as the new primary with no remapping of
+// anything else. A nil routable accepts every node.
+func (r *Ring) Owners(key string, n int, routable func(string) bool) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	kh := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	owners := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		node := r.nodes[p.node]
+		if routable != nil && !routable(node) {
+			continue
+		}
+		owners = append(owners, node)
+	}
+	return owners
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingPlacementIndependentOfInputOrder(t *testing.T) {
+	a := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	b := NewRing([]string{"http://c:1", "http://a:1", "http://b:1"})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("sess-%d", i)
+		if got, want := a.Owners(key, 2, nil), b.Owners(key, 2, nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %q: placement differs by input order: %v vs %v", key, got, want)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("sess-%d", i)
+		owners := r.Owners(key, 2, nil)
+		if len(owners) != 2 {
+			t.Fatalf("key %q: want 2 owners, got %v", key, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %q: duplicate owner %v", key, owners)
+		}
+		if again := r.Owners(key, 2, nil); !reflect.DeepEqual(owners, again) {
+			t.Fatalf("key %q: unstable placement %v vs %v", key, owners, again)
+		}
+	}
+}
+
+// A dead primary's first replica must surface as the new primary, and no
+// other key's primary may move — that is the whole point of consistent
+// hashing with liveness applied at lookup time.
+func TestRingFailoverPromotesReplica(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(nodes)
+	dead := "http://b:1"
+	alive := func(n string) bool { return n != dead }
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("sess-%d", i)
+		before := r.Owners(key, 2, nil)
+		after := r.Owners(key, 2, alive)
+		if before[0] == dead {
+			if after[0] != before[1] {
+				t.Fatalf("key %q: want replica %s promoted, got %v", key, before[1], after)
+			}
+		} else if after[0] != before[0] {
+			t.Fatalf("key %q: primary moved %s -> %s though it is alive", key, before[0], after[0])
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(nodes)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("sess-%d", i), 1, nil)[0]]++
+	}
+	for _, n := range nodes {
+		// Loose bound: with 64 vnodes each node should be within a factor
+		// of ~2 of its fair third.
+		if c := counts[n]; c < keys/6 || c > keys*2/3 {
+			t.Fatalf("unbalanced ring: %v", counts)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil).Owners("k", 2, nil); got != nil {
+		t.Fatalf("empty ring returned owners %v", got)
+	}
+	r := NewRing([]string{"http://a:1"})
+	if got := r.Owners("k", 2, nil); len(got) != 1 || got[0] != "http://a:1" {
+		t.Fatalf("single-node ring: %v", got)
+	}
+}

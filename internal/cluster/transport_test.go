@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordingServer counts deliveries and keeps every body it received.
+type recordingServer struct {
+	ts     *httptest.Server
+	hits   atomic.Int64
+	mu     sync.Mutex
+	bodies [][]byte
+}
+
+func newRecordingServer(t *testing.T) *recordingServer {
+	rs := &recordingServer{}
+	rs.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		rs.hits.Add(1)
+		rs.mu.Lock()
+		rs.bodies = append(rs.bodies, body)
+		rs.mu.Unlock()
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(rs.ts.Close)
+	return rs
+}
+
+func (rs *recordingServer) host(t *testing.T) string {
+	u, err := url.Parse(rs.ts.URL)
+	if err != nil {
+		t.Fatalf("parse %s: %v", rs.ts.URL, err)
+	}
+	return u.Host
+}
+
+func (rs *recordingServer) lastBody() []byte {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.bodies) == 0 {
+		return nil
+	}
+	return rs.bodies[len(rs.bodies)-1]
+}
+
+func postVia(t *testing.T, ft *FaultTransport, url, body string) (*http.Response, error) {
+	t.Helper()
+	client := &http.Client{Transport: ft}
+	return client.Post(url, "text/plain", strings.NewReader(body))
+}
+
+func TestFaultTransportDropAndPartition(t *testing.T) {
+	rs := newRecordingServer(t)
+	ft := NewFaultTransport(nil)
+
+	ft.SetRule(rs.host(t), FaultRule{DropNext: 1})
+	if _, err := postVia(t, ft, rs.ts.URL, "x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped request: want ErrInjected, got %v", err)
+	}
+	if resp, err := postVia(t, ft, rs.ts.URL, "x"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("DropNext did not clear after one request: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	ft.SetRule(rs.host(t), FaultRule{Partition: true})
+	for i := 0; i < 3; i++ {
+		if _, err := postVia(t, ft, rs.ts.URL, "x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("partitioned request %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	ft.Heal(rs.host(t))
+	resp, err := postVia(t, ft, rs.ts.URL, "x")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed request: %v", err)
+	}
+	resp.Body.Close()
+	if got := rs.hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (drops must never reach it)", got)
+	}
+}
+
+func TestFaultTransportTearDeliversPrefix(t *testing.T) {
+	rs := newRecordingServer(t)
+	ft := NewFaultTransport(nil)
+	body := "0123456789abcdef"
+
+	for _, n := range []int{0, 1, 7, len(body)} {
+		ft.Tear(rs.host(t), n)
+		_, err := postVia(t, ft, rs.ts.URL, body)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("tear@%d: sender must see a failed send, got %v", n, err)
+		}
+		if got := rs.lastBody(); !bytes.Equal(got, []byte(body[:n])) {
+			t.Fatalf("tear@%d: receiver saw %q, want prefix %q", n, got, body[:n])
+		}
+	}
+	// One-shot: the next request flows whole.
+	resp, err := postVia(t, ft, rs.ts.URL, body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-tear request: %v", err)
+	}
+	resp.Body.Close()
+	if got := rs.lastBody(); string(got) != body {
+		t.Fatalf("post-tear body %q, want %q", got, body)
+	}
+}
+
+func TestFaultTransportDuplicateDeliversTwice(t *testing.T) {
+	rs := newRecordingServer(t)
+	ft := NewFaultTransport(nil)
+	// The zero TearBodyAfter in this literal must NOT arm a tear at byte 0.
+	ft.SetRule(rs.host(t), FaultRule{DuplicateNext: true})
+	resp, err := postVia(t, ft, rs.ts.URL, "payload")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicated request failed: %v", err)
+	}
+	resp.Body.Close()
+	if got := rs.hits.Load(); got != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", got)
+	}
+	rs.mu.Lock()
+	same := len(rs.bodies) == 2 && bytes.Equal(rs.bodies[0], rs.bodies[1])
+	rs.mu.Unlock()
+	if !same {
+		t.Fatalf("duplicate deliveries differ: %q", rs.bodies)
+	}
+	resp, err = postVia(t, ft, rs.ts.URL, "payload")
+	if err != nil {
+		t.Fatalf("post-duplicate request: %v", err)
+	}
+	resp.Body.Close()
+	if got := rs.hits.Load(); got != 3 {
+		t.Fatalf("DuplicateNext did not clear: %d deliveries", got)
+	}
+}
+
+func TestFaultTransportDelay(t *testing.T) {
+	rs := newRecordingServer(t)
+	ft := NewFaultTransport(nil)
+	ft.SetRule(rs.host(t), FaultRule{Delay: 60 * time.Millisecond})
+	start := time.Now()
+	resp, err := postVia(t, ft, rs.ts.URL, "x")
+	if err != nil {
+		t.Fatalf("delayed request: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("request returned after %v, want >= 60ms", elapsed)
+	}
+}

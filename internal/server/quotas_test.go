@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// newQuotaServer runs a server with a tiny refill rate so a tenant's burst
+// exhausts deterministically and stays exhausted for the test's duration.
+func newQuotaServer(t *testing.T, burst int) (*Server, *httptest.Server) {
+	t.Helper()
+	m, ref := trainedModel(t)
+	s := New(Config{
+		Queue: 64, Logger: log.New(io.Discard, "", 0),
+		QuotaRate: 0.001, QuotaBurst: burst,
+	})
+	if err := s.Register("email", m, ref); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// ingestAs posts a one-edge ingest billed to tenant ("" sends no header).
+// step keeps the session's time column monotonic across requests.
+func ingestAs(t *testing.T, url, tenant, sess string, step int) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/ingest?session="+sess,
+		strings.NewReader(fmt.Sprintf("src,dst,t\nn0,n1,%d\n", step)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	if tenant != "" {
+		req.Header.Set(HeaderTenant, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("ingest as %q: %v", tenant, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+func TestQuotaExhaustionIsPerTenant(t *testing.T) {
+	_, ts := newQuotaServer(t, 3)
+
+	for i := 0; i < 3; i++ {
+		if resp := ingestAs(t, ts.URL, "alice", "qa", i); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alice request %d inside burst: status %d", i, resp.StatusCode)
+		}
+	}
+	shed := ingestAs(t, ts.URL, "alice", "qa", 3)
+	if shed.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over burst: status %d, want 429", shed.StatusCode)
+	}
+	// Retry-After must be a parseable jittered integer in [base, 2*base]
+	// where base ≈ 1/rate seconds for an empty bucket.
+	ra, err := strconv.Atoi(shed.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", shed.Header.Get("Retry-After"), err)
+	}
+	if ra < 900 || ra > 2200 {
+		t.Fatalf("Retry-After %d outside the jittered [base, 2*base] window for rate 0.001", ra)
+	}
+
+	// Alice's exhaustion must not touch other tenants — including the
+	// implicit default tenant.
+	if resp := ingestAs(t, ts.URL, "bob", "qb", 0); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob while alice throttled: status %d", resp.StatusCode)
+	}
+	if resp := ingestAs(t, ts.URL, "", "qd", 0); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default tenant while alice throttled: status %d", resp.StatusCode)
+	}
+}
+
+func TestQuotaCountersOnMetrics(t *testing.T) {
+	_, ts := newQuotaServer(t, 3)
+	for i := 0; i < 4; i++ {
+		ingestAs(t, ts.URL, "alice", "qm", i)
+	}
+	ingestAs(t, ts.URL, "bob", "qm2", 0)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/metrics?model=email&t=2", nil)
+	req.Header.Set(HeaderTenant, "ops")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d: %s", resp.StatusCode, data)
+	}
+	var out MetricsResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	if out.Server == nil || out.Server.Tenants == nil {
+		t.Fatal("metrics response missing per-tenant counters")
+	}
+	alice := out.Server.Tenants["alice"]
+	if alice.Admitted != 3 || alice.Throttled != 1 {
+		t.Fatalf("alice counters %+v, want 3 admitted / 1 throttled", alice)
+	}
+	if bob := out.Server.Tenants["bob"]; bob.Admitted != 1 || bob.Throttled != 0 {
+		t.Fatalf("bob counters %+v, want 1 admitted / 0 throttled", bob)
+	}
+}
+
+func TestQuotaReplicaTrafficBypasses(t *testing.T) {
+	_, ts := newQuotaServer(t, 2)
+	for i := 0; i < 2; i++ {
+		ingestAs(t, ts.URL, "carol", "qr", i)
+	}
+	if resp := ingestAs(t, ts.URL, "carol", "qr", 2); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("carol over burst: status %d, want 429", resp.StatusCode)
+	}
+
+	// A replica apply for the same tenant must not be throttled: the quota
+	// was charged where the client's request was admitted, and shedding
+	// replication would break another node's durability guarantee.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest?session=qr",
+		strings.NewReader("src,dst,t\nn0,n2,5\n"))
+	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set(HeaderTenant, "carol")
+	req.Header.Set(HeaderReplica, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica apply throttled: status %d", resp.StatusCode)
+	}
+}
+
+func TestRetryAfterJitterStaysInRange(t *testing.T) {
+	s := New(Config{Queue: 4, Logger: log.New(io.Discard, "", 0)})
+	t.Cleanup(s.Close)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		v := s.retryAfterJitter(5, 10)
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("jitter %q not an integer", v)
+		}
+		if n < 5 || n > 15 {
+			t.Fatalf("jitter %d outside [5,15]", n)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("200 draws produced only %d distinct values — not jittered", len(seen))
+	}
+	if got := s.retryAfterJitter(7, 0); got != "7" {
+		t.Fatalf("zero spread must be deterministic, got %q", got)
+	}
+}

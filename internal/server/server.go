@@ -23,6 +23,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -91,6 +92,20 @@ type Config struct {
 	// happen inline on session access, as before).
 	SweepInterval time.Duration
 
+	// QuotaRate, when > 0, enables per-tenant token-bucket quotas on the
+	// admission queue: each tenant (X-Vrdag-Tenant header) refills at
+	// QuotaRate requests/sec up to QuotaBurst, and an empty bucket sheds
+	// with 429 + jittered Retry-After (see quotas.go).
+	QuotaRate  float64
+	QuotaBurst int // bucket capacity (default ceil(QuotaRate), min 1)
+
+	// RequestTimeout, when > 0, bounds every request's handler context:
+	// generation past the deadline aborts and returns its buffers. Set it
+	// above the longest expected stream — it applies to streaming
+	// responses too, which is the point (a wedged consumer cannot pin a
+	// worker forever).
+	RequestTimeout time.Duration
+
 	Logger *log.Logger // request log destination (default stderr)
 }
 
@@ -128,6 +143,16 @@ type Server struct {
 
 	seedMu sync.Mutex
 	seeder *rand.Rand
+
+	quotaMu sync.Mutex
+	quotas  map[string]*tenantBucket
+
+	// healthHook/statsHook let an embedding layer (internal/cluster)
+	// decorate /healthz and /v1/metrics with cluster state without the
+	// import cycle a reverse dependency would create. Both hold nil or a
+	// func; set once at wiring time via SetHealthHook/SetStatsHook.
+	healthHook atomic.Value // func(*HealthResponse)
+	statsHook  atomic.Value // func() any
 }
 
 type modelEntry struct {
@@ -181,6 +206,12 @@ func New(cfg Config) *Server {
 	if cfg.SweepInterval == 0 {
 		cfg.SweepInterval = time.Minute
 	}
+	if cfg.QuotaRate > 0 && cfg.QuotaBurst <= 0 {
+		cfg.QuotaBurst = int(cfg.QuotaRate + 0.999)
+		if cfg.QuotaBurst < 1 {
+			cfg.QuotaBurst = 1
+		}
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(log.Writer(), "vrdag-serve ", log.LstdFlags)
 	}
@@ -196,6 +227,7 @@ func New(cfg Config) *Server {
 		fsys:     cfg.FS,
 		dur:      &durStats{},
 		seeder:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		quotas:   make(map[string]*tenantBucket),
 	}
 	s.mux = http.NewServeMux()
 	routes := map[string]http.HandlerFunc{
@@ -287,10 +319,24 @@ func (s *Server) Close() {
 	s.releaseAllSessions()
 }
 
+// SetHealthHook installs a decorator run on every /healthz response
+// before it is written; internal/cluster uses it to attach peer state and
+// to surface a cluster drain. Call once, at wiring time.
+func (s *Server) SetHealthHook(f func(*HealthResponse)) { s.healthHook.Store(f) }
+
+// SetStatsHook installs a provider whose result is attached to the
+// Cluster field of /v1/metrics server stats. Call once, at wiring time.
+func (s *Server) SetStatsHook(f func() any) { s.statsHook.Store(f) }
+
 // ServeHTTP implements http.Handler with request logging and per-endpoint
 // accounting.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(lw, r)
 	elapsed := time.Since(start)
@@ -391,6 +437,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 		s.writeError(w, http.StatusServiceUnavailable, "server draining")
 		return nil, false
 	}
+	if !s.checkQuota(w, r) {
+		return nil, false
+	}
 	release = func() { <-s.admitCh }
 	select {
 	case s.admitCh <- struct{}{}:
@@ -403,7 +452,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	case s.admitCh <- struct{}{}:
 		return release, true
 	case <-timer.C:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterJitter(1, 2))
 		s.writeError(w, http.StatusTooManyRequests,
 			"admission queue full: no slot freed within %s (depth %d)", s.cfg.AdmitWait, s.cfg.AdmitDepth)
 		return nil, false
@@ -870,16 +919,34 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, infos)
 }
 
+// handleHealthz reports structured liveness: status "ok" (serving),
+// "degraded" (persistence latched read-only — forecasts still serve, so
+// still 200), or "draining" (handing off, 503 so load balancers and peer
+// probes stop routing here). The cluster hook attaches peer state and may
+// flip the status to draining ahead of the local drain, which is how a
+// node routes its sessions away before it stops accepting work.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.models)
 	s.mu.RUnlock()
-	status := "ok"
-	if s.degraded.Load() {
-		status = "degraded"
-	}
-	s.writeJSON(w, http.StatusOK, HealthResponse{
-		Status: status, Models: n, Workers: s.cfg.Workers,
+	h := HealthResponse{
+		Status: "ok", Models: n, Workers: s.cfg.Workers,
 		Draining: s.draining(), Degraded: s.degraded.Load(),
-	})
+	}
+	if h.Degraded {
+		h.Status = "degraded"
+		h.Reason = s.degradedReason()
+	}
+	if h.Draining {
+		h.Status = "draining"
+		h.Reason = "draining for shutdown"
+	}
+	if f, ok := s.healthHook.Load().(func(*HealthResponse)); ok && f != nil {
+		f(&h)
+	}
+	code := http.StatusOK
+	if h.Status == "draining" {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
 }

@@ -327,7 +327,7 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 	if s.durable() && s.degraded.Load() {
 		// Accepting an ingest that cannot be made durable would silently
 		// break the recovery contract; shed it and keep serving reads.
-		w.Header().Set("Retry-After", "30")
+		w.Header().Set("Retry-After", s.retryAfterJitter(20, 20))
 		s.writeError(w, http.StatusServiceUnavailable,
 			"persistence degraded, ingest is read-only: %s", s.degradedReason())
 		return
@@ -448,7 +448,7 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 			return // client gone mid-request
 		}
 		if persistErr {
-			w.Header().Set("Retry-After", "30")
+			w.Header().Set("Retry-After", s.retryAfterJitter(20, 20))
 			s.writeError(w, http.StatusServiceUnavailable, "ingest not persisted: %v", genErr)
 			return
 		}
@@ -544,7 +544,7 @@ func (s *Server) decodeForecastRequest(w http.ResponseWriter, r *http.Request) (
 		return req, nil, 0, false
 	}
 	if err := s.ensureResident(fs); err != nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterJitter(1, 1))
 		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return req, nil, 0, false
 	}
@@ -600,7 +600,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		}
 		if errors.Is(genErr, errSpilled) {
 			// A sweep won the race between reload and the read lock.
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterJitter(1, 1))
 			s.writeError(w, http.StatusServiceUnavailable, "%v", genErr)
 			return
 		}
@@ -637,7 +637,7 @@ func (s *Server) handleForecastStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if fs.spilled {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterJitter(1, 1))
 			s.writeError(w, http.StatusServiceUnavailable, "%v", errSpilled)
 			return
 		}

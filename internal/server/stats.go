@@ -85,5 +85,9 @@ func (s *Server) serverStats() *ServerStats {
 	if s.durable() {
 		out.Durability = s.durabilityStats()
 	}
+	out.Tenants = s.tenantStats()
+	if f, ok := s.statsHook.Load().(func() any); ok && f != nil {
+		out.Cluster = f()
+	}
 	return out
 }

@@ -130,6 +130,9 @@ type SessionInfo struct {
 	// Spilled marks a durable session whose state currently lives on
 	// disk only; the next ingest or forecast reloads it transparently.
 	Spilled bool `json:"spilled,omitempty"`
+	// Node names the peer holding this copy of the session; set by the
+	// cluster fan-out listing, empty in single-node mode.
+	Node string `json:"node,omitempty"`
 }
 
 // SessionDeleteResponse is the body of DELETE /v1/ingest?session=....
@@ -195,6 +198,19 @@ type ServerStats struct {
 	Endpoints      map[string]EndpointStats `json:"endpoints"`
 	// Durability is present only when the server runs with a DataDir.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Tenants is present only when per-tenant quotas are enabled and at
+	// least one tenant has been seen.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+	// Cluster is present only when the server runs behind a cluster node
+	// (internal/cluster attaches its routing/replication counters here).
+	Cluster any `json:"cluster,omitempty"`
+}
+
+// TenantStats is one tenant's quota accounting.
+type TenantStats struct {
+	Admitted  int64   `json:"admitted"`
+	Throttled int64   `json:"throttled"`
+	Tokens    float64 `json:"tokens"` // bucket level at scrape time
 }
 
 // DurabilityStats reports the session persistence counters: how often
@@ -275,18 +291,53 @@ type ModelInfo struct {
 	Generated int64  `json:"generated"` // completed generation requests served
 }
 
-// HealthResponse is the body of GET /healthz. Status is "degraded" when
-// a persistence failure has latched the server read-only: forecasts
-// still serve, ingest sheds with 503 until the operator intervenes.
+// HealthResponse is the body of GET /healthz. Status is "ok",
+// "degraded" (a persistence failure latched the server read-only:
+// forecasts still serve, ingest sheds until the operator intervenes;
+// still HTTP 200), or "draining" (handing off before exit; HTTP 503 so
+// probes route away). Reason explains any non-ok status; Peers carries
+// cluster membership state when the server runs behind a cluster node.
 type HealthResponse struct {
 	Status   string `json:"status"`
+	Reason   string `json:"reason,omitempty"`
 	Models   int    `json:"models"`
 	Workers  int    `json:"workers"`
 	Draining bool   `json:"draining,omitempty"`
 	Degraded bool   `json:"degraded,omitempty"`
+	Peers    any    `json:"peers,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// Cross-node request headers shared with internal/cluster. They live
+// here (the lower layer) because cluster imports server, never the
+// reverse.
+const (
+	// HeaderTenant names the tenant a request's quota is billed to.
+	HeaderTenant = "X-Vrdag-Tenant"
+	// HeaderForwarded marks a request already routed by a peer node; the
+	// receiver serves it locally instead of re-proxying (loop guard —
+	// during failover it is exactly what makes a follower act as
+	// primary).
+	HeaderForwarded = "X-Vrdag-Forwarded"
+	// HeaderReplica marks a replicated ingest apply. It bypasses tenant
+	// quotas (charged once, on the admitting node) and is accompanied by
+	// HeaderBodyCRC and HeaderRepSeq.
+	HeaderReplica = "X-Vrdag-Replica"
+	// HeaderBodyCRC is the CRC32C (Castagnoli, hex) of a replicated
+	// ingest body; the receiver verifies it before folding anything, so
+	// a replication stream torn mid-body is rejected whole rather than
+	// half-applied.
+	HeaderBodyCRC = "X-Vrdag-Body-Crc"
+	// HeaderRepSeq is the per-session replication sequence number; the
+	// receiver drops already-applied sequences so retries and duplicated
+	// deliveries fold exactly once.
+	HeaderRepSeq = "X-Vrdag-Rep-Seq"
+	// HeaderAck reports, on a primary's ingest response, whether the ack
+	// covers the replica ("replicated") or only local durability
+	// ("local", the degraded mode while the follower is unreachable).
+	HeaderAck = "X-Vrdag-Ack"
+)

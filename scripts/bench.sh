@@ -18,7 +18,11 @@
 # in-process HTTP server, one scenario per generation endpoint (unary,
 # NDJSON streaming, batch), emitting {name, clients, requests, t, rps,
 # p50_ms, p99_ms, errors, snapshots, peak_rss_bytes} objects (default
-# BENCH_serve.json).
+# BENCH_serve.json). The serve/cluster-ingest scenario additionally runs
+# the session-ingest workload through a single node and through an
+# SERVE_CLUSTER_NODES-node cluster (consistent-hash routing + R=2
+# replication), stamping the multi-node result with nodes and
+# speedup_vs_1_node so the routing layer's overhead is tracked too.
 #
 # Train mode drives `vrdag-bench -train`: the sequential TBPTT engine vs
 # the window-parallel engine at several worker counts, emitting {name,
@@ -43,6 +47,7 @@
 #   SERVE_CLIENTS      serve mode: concurrent clients   (default 8)
 #   SERVE_REQUESTS     serve mode: requests/scenario    (default 64)
 #   SERVE_T            serve mode: snapshots/request    (default 32)
+#   SERVE_CLUSTER_NODES serve mode: cluster scenario size (default 3; 0 skips)
 #   TRAIN_SCALE        train mode: Email replica scale  (default 0.05)
 #   TRAIN_EPOCHS       train mode: measured epochs      (default 4)
 #   TRAIN_WORKERS      train mode: CSV worker counts    (default "1,0"; 0 = GOMAXPROCS)
@@ -86,6 +91,7 @@ if [[ "$mode" == "serve" ]]; then
     -serve-clients "${SERVE_CLIENTS:-8}" \
     -serve-requests "${SERVE_REQUESTS:-64}" \
     -serve-t "${SERVE_T:-32}" \
+    -serve-cluster-nodes "${SERVE_CLUSTER_NODES:-3}" \
     -serve-out "$out"
   echo "wrote $(grep -c '"name"' "$out") serve-bench results to $out"
   exit 0
