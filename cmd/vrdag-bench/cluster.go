@@ -3,7 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -107,7 +107,7 @@ func clusterIngestRun(o serveOptions, m *core.Model, g *dyngraph.Sequence, nodes
 	for i, mb := range members {
 		mb.srv = server.New(server.Config{
 			Queue:  4 * o.clients,
-			Logger: log.New(io.Discard, "", 0),
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 		})
 		if err := mb.srv.Register("bench", m, g); err != nil {
 			return serveResult{}, err
@@ -115,7 +115,7 @@ func clusterIngestRun(o serveOptions, m *core.Model, g *dyngraph.Sequence, nodes
 		nd, err := cluster.NewNode(mb.srv, cluster.Config{
 			Self:   urls[i],
 			Peers:  urls,
-			Logger: log.New(io.Discard, "", 0),
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 		})
 		if err != nil {
 			return serveResult{}, err

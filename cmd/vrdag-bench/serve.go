@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -21,6 +21,7 @@ import (
 	"vrdag/internal/core"
 	"vrdag/internal/datasets"
 	"vrdag/internal/dyngraph"
+	"vrdag/internal/obs"
 	"vrdag/internal/server"
 )
 
@@ -70,6 +71,15 @@ type serveResult struct {
 	Recoveries    int64   `json:"recoveries,omitempty"`
 	RecoveryMS    float64 `json:"recovery_ms,omitempty"`
 	SnapshotCount int64   `json:"snapshot_count,omitempty"`
+
+	// Tracing-overhead fields, present only for the serve/*/trace-overhead
+	// scenarios: P50MS/P99MS are the tracing-on numbers, the Off twins the
+	// same workload against a server built with obs.Disabled(), and
+	// TraceOverheadPct is the p50 delta in percent — the figure the
+	// "tracing on by default" decision rests on.
+	P50OffMS         float64 `json:"p50_off_ms,omitempty"`
+	P99OffMS         float64 `json:"p99_off_ms,omitempty"`
+	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
 }
 
 func runServeBench(o serveOptions) error {
@@ -89,7 +99,7 @@ func runServeBench(o serveOptions) error {
 	srv := server.New(server.Config{
 		MaxT:   o.t,
 		Queue:  4 * o.clients, // absorb the full client burst; shedding is not what we measure here
-		Logger: log.New(io.Discard, "", 0),
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err := srv.Register("bench", m, g); err != nil {
 		return err
@@ -165,6 +175,12 @@ func runServeBench(o serveOptions) error {
 			res.Name, res.RPS, res.P50MS, res.P99MS, res.Errors, float64(res.PeakRSSBytes)/(1<<20))
 	}
 
+	if tres, err := runTraceOverheadBench(o, m, g); err != nil {
+		fmt.Fprintf(os.Stderr, "serve-bench: trace-overhead scenario skipped: %v\n", err)
+	} else {
+		results = append(results, tres...)
+	}
+
 	if res, err := runDurableIngestBench(o, m, g); err != nil {
 		fmt.Fprintf(os.Stderr, "serve-bench: durable scenario skipped: %v\n", err)
 	} else {
@@ -197,6 +213,185 @@ func runServeBench(o serveOptions) error {
 	return nil
 }
 
+// loadLoop drives o.requests requests across o.clients goroutines — the
+// same shape as the scenario loop in runServeBench — and returns the
+// sorted per-request latencies plus the error count. do receives the
+// worker index (for per-client sessions) and the global request index.
+func loadLoop(o serveOptions, do func(client *http.Client, worker, i int) error) ([]time.Duration, int) {
+	latencies := make([]time.Duration, o.requests)
+	var errCount atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.requests {
+					return
+				}
+				start := time.Now()
+				err := do(client, c, i)
+				latencies[i] = time.Since(start)
+				if err != nil {
+					errCount.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies, int(errCount.Load())
+}
+
+// runTraceOverheadBench measures what request tracing costs on the hot
+// path: the same workload against two otherwise-identical servers, one
+// with the default always-on tracer and one built with obs.Disabled(),
+// reporting the p50 delta as trace_overhead_pct. The tracing-on-by-default
+// decision rests on serve/generate staying under a couple of percent.
+func runTraceOverheadBench(o serveOptions, m *core.Model, g *dyngraph.Sequence) ([]serveResult, error) {
+	newSrv := func(tr *obs.Tracer) (*server.Server, *httptest.Server, error) {
+		srv := server.New(server.Config{
+			MaxT:   o.t,
+			Queue:  4 * o.clients,
+			Tracer: tr,
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		if err := srv.Register("bench", m, g); err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		return srv, httptest.NewServer(srv), nil
+	}
+	srvOn, tsOn, err := newSrv(nil) // nil Tracer → server's default, tracing on
+	if err != nil {
+		return nil, err
+	}
+	defer func() { tsOn.Close(); srvOn.Close() }()
+	srvOff, tsOff, err := newSrv(obs.Disabled())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { tsOff.Close(); srvOff.Close() }()
+
+	// Non-durable ingest: same CSV body shape as the durable scenario, but
+	// no DataDir, so the delta isolates tracing rather than fsync jitter.
+	doIngest := func(c *http.Client, base string, worker, i int) error {
+		var sb strings.Builder
+		sb.WriteString("src,dst,t\n")
+		for e := 0; e < 16; e++ {
+			fmt.Fprintf(&sb, "n%d,n%d,%d\n", e%8, (e+1+i)%8, i)
+		}
+		resp, err := c.Post(base+"/v1/ingest?session="+fmt.Sprintf("trace-c%d", worker),
+			"text/csv", strings.NewReader(sb.String()))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	scenarios := []struct {
+		name string
+		do   func(c *http.Client, base string, worker, i int) error
+	}{
+		{"serve/generate/trace-overhead", func(c *http.Client, base string, worker, i int) error {
+			_, err := doGenerate(c, base, o.t, o.seed+int64(i))
+			return err
+		}},
+		{"serve/ingest/trace-overhead", doIngest},
+	}
+
+	var out []serveResult
+	for _, sc := range scenarios {
+		// Warm both servers (pooled buffers, HTTP keep-alives, lazily built
+		// decode state) so the measured delta is tracing, not first-touch cost.
+		warm := o
+		warm.requests = 2 * o.clients
+		loadLoop(warm, func(c *http.Client, worker, i int) error {
+			return sc.do(c, tsOn.URL, worker, i)
+		})
+		loadLoop(warm, func(c *http.Client, worker, i int) error {
+			return sc.do(c, tsOff.URL, worker, i)
+		})
+		// Alternate short on/off rounds instead of one long run per mode:
+		// machine drift (turbo, GC, noisy neighbours) then lands on both
+		// sides roughly equally instead of biasing whichever ran second.
+		// Request indices advance monotonically per server so per-session
+		// ingest timesteps never replay an already-folded step.
+		rounds := 4
+		if o.requests < 2*rounds {
+			rounds = 1
+		}
+		per := o
+		per.requests = o.requests / rounds
+		var latOn, latOff []time.Duration
+		var errOn, errOff int
+		var onElapsed time.Duration
+		baseOn, baseOff := warm.requests, warm.requests
+		runOn := func() {
+			base := baseOn
+			onStart := time.Now()
+			l, e := loadLoop(per, func(c *http.Client, worker, i int) error {
+				return sc.do(c, tsOn.URL, worker, i+base)
+			})
+			onElapsed += time.Since(onStart)
+			latOn = append(latOn, l...)
+			errOn += e
+			baseOn += per.requests
+		}
+		runOff := func() {
+			base := baseOff
+			l, e := loadLoop(per, func(c *http.Client, worker, i int) error {
+				return sc.do(c, tsOff.URL, worker, i+base)
+			})
+			latOff = append(latOff, l...)
+			errOff += e
+			baseOff += per.requests
+		}
+		for r := 0; r < rounds; r++ {
+			// Alternate which mode goes first so within-round drift
+			// (GC debt, cache state left by the previous half) does not
+			// systematically favour one side.
+			if r%2 == 0 {
+				runOn()
+				runOff()
+			} else {
+				runOff()
+				runOn()
+			}
+		}
+		sort.Slice(latOn, func(i, j int) bool { return latOn[i] < latOn[j] })
+		sort.Slice(latOff, func(i, j int) bool { return latOff[i] < latOff[j] })
+		measured := rounds * per.requests
+		res := serveResult{
+			Name:     sc.name,
+			Clients:  o.clients,
+			Requests: measured,
+			T:        o.t,
+			RPS:      float64(measured) / onElapsed.Seconds(),
+			P50MS:    float64(percentile(latOn, 0.50).Microseconds()) / 1000,
+			P99MS:    float64(percentile(latOn, 0.99).Microseconds()) / 1000,
+			Errors:   errOn + errOff,
+			P50OffMS: float64(percentile(latOff, 0.50).Microseconds()) / 1000,
+			P99OffMS: float64(percentile(latOff, 0.99).Microseconds()) / 1000,
+		}
+		if res.P50OffMS > 0 {
+			res.TraceOverheadPct = (res.P50MS - res.P50OffMS) / res.P50OffMS * 100
+		}
+		out = append(out, res)
+		fmt.Fprintf(os.Stderr, "serve-bench: %-28s p50 on %8.3f ms  off %8.3f ms  overhead %+.2f%%  errors %d\n",
+			res.Name, res.P50MS, res.P50OffMS, res.TraceOverheadPct, res.Errors)
+	}
+	return out, nil
+}
+
 // runDurableIngestBench drives the fsync-disciplined ingest path: each
 // client appends edge batches to its own persisted session, then a cold
 // server recovers the whole data directory. The durability counters come
@@ -214,7 +409,7 @@ func runDurableIngestBench(o serveOptions, m *core.Model, g *dyngraph.Sequence) 
 			MaxT:    o.t,
 			Queue:   4 * o.clients,
 			DataDir: dir,
-			Logger:  log.New(io.Discard, "", 0),
+			Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
 		})
 		if err := srv.Register("bench", m, g); err != nil {
 			panic(err)

@@ -20,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strings"
 
@@ -29,6 +28,7 @@ import (
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/ingest"
 	"vrdag/internal/metrics"
+	"vrdag/internal/obs"
 )
 
 func main() {
@@ -55,10 +55,10 @@ func main() {
 
 	g, err := loadObserved(*inPath, *edges, *dataset, *scale, *seed, *n, *f, *window)
 	if err != nil {
-		log.Fatalf("vrdag-forecast: %v", err)
+		fatalf("vrdag-forecast: %v", err)
 	}
 	if g.T() < 2 {
-		log.Fatalf("vrdag-forecast: observed sequence has %d snapshots; need at least 2 to hold out a tail", g.T())
+		fatalf("vrdag-forecast: observed sequence has %d snapshots; need at least 2 to hold out a tail", g.T())
 	}
 
 	k := *holdout
@@ -66,11 +66,11 @@ func main() {
 		k = max(2, g.T()/5)
 	}
 	if k >= g.T() {
-		log.Fatalf("vrdag-forecast: holdout %d >= sequence length %d", k, g.T())
+		fatalf("vrdag-forecast: holdout %d >= sequence length %d", k, g.T())
 	}
 	head, tail, err := metrics.SplitTail(g, k)
 	if err != nil {
-		log.Fatalf("vrdag-forecast: %v", err)
+		fatalf("vrdag-forecast: %v", err)
 	}
 	h := *horizon
 	if h <= 0 {
@@ -83,16 +83,16 @@ func main() {
 
 	model, err := obtainModel(*loadFrom, head, *epochs, *seed, *quiet)
 	if err != nil {
-		log.Fatalf("vrdag-forecast: %v", err)
+		fatalf("vrdag-forecast: %v", err)
 	}
 	if model.Cfg.N != g.N || model.Cfg.F != g.F {
-		log.Fatalf("vrdag-forecast: model shape (%d,%d) does not match observed (%d,%d)",
+		fatalf("vrdag-forecast: model shape (%d,%d) does not match observed (%d,%d)",
 			model.Cfg.N, model.Cfg.F, g.N, g.F)
 	}
 
 	state, err := model.Encode(context.Background(), head)
 	if err != nil {
-		log.Fatalf("vrdag-forecast: encode: %v", err)
+		fatalf("vrdag-forecast: encode: %v", err)
 	}
 	defer state.Release()
 
@@ -100,7 +100,7 @@ func main() {
 		T: h, Seed: *seed + 1, DynamicNodes: *dyn, Parallel: true,
 	})
 	if err != nil {
-		log.Fatalf("vrdag-forecast: forecast: %v", err)
+		fatalf("vrdag-forecast: forecast: %v", err)
 	}
 
 	rep := metrics.CompareForecast(tail, forecast)
@@ -108,7 +108,7 @@ func main() {
 
 	if *outPath != "" {
 		if err := writeForecast(*outPath, forecast); err != nil {
-			log.Fatalf("vrdag-forecast: %v", err)
+			fatalf("vrdag-forecast: %v", err)
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote forecast (T=%d) to %s\n", forecast.T(), *outPath)
@@ -196,4 +196,10 @@ func writeForecast(path string, g *dyngraph.Sequence) error {
 		return dyngraph.SaveGzip(file, g)
 	}
 	return dyngraph.Save(file, g)
+}
+
+// fatalf emits one structured error line and exits non-zero.
+func fatalf(format string, args ...any) {
+	obs.NewLogger(os.Stderr, "text").Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

@@ -14,12 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
 	"vrdag/internal/core"
 	"vrdag/internal/datasets"
 	"vrdag/internal/dyngraph"
+	"vrdag/internal/obs"
 )
 
 func main() {
@@ -46,7 +46,7 @@ func main() {
 
 	g, err := loadInput(*inPath, *dataset, *scale, *seed)
 	if err != nil {
-		log.Fatalf("vrdag-gen: %v", err)
+		fatalf("vrdag-gen: %v", err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "input: N=%d F=%d T=%d M=%d\n", g.N, g.F, g.T(), g.TotalTemporalEdges())
@@ -56,12 +56,12 @@ func main() {
 	if *loadFrom != "" {
 		f, err := os.Open(*loadFrom)
 		if err != nil {
-			log.Fatalf("vrdag-gen: %v", err)
+			fatalf("vrdag-gen: %v", err)
 		}
 		model, err = core.Load(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("vrdag-gen: %v", err)
+			fatalf("vrdag-gen: %v", err)
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "restored model: %d parameters\n", model.NumParams())
@@ -87,15 +87,15 @@ func main() {
 			}
 		}
 		if _, err := model.Fit(g, core.WithProgress(progress)); err != nil {
-			log.Fatalf("vrdag-gen: training failed: %v", err)
+			fatalf("vrdag-gen: training failed: %v", err)
 		}
 		if *saveTo != "" {
 			f, err := os.Create(*saveTo)
 			if err != nil {
-				log.Fatalf("vrdag-gen: %v", err)
+				fatalf("vrdag-gen: %v", err)
 			}
 			if err := model.Save(f); err != nil {
-				log.Fatalf("vrdag-gen: save failed: %v", err)
+				fatalf("vrdag-gen: save failed: %v", err)
 			}
 			f.Close()
 		}
@@ -109,7 +109,7 @@ func main() {
 		T: t, Seed: *seed + 1, DynamicNodes: *dyn, Parallel: true,
 	})
 	if err != nil {
-		log.Fatalf("vrdag-gen: generation failed: %v", err)
+		fatalf("vrdag-gen: generation failed: %v", err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "generated: T=%d M=%d\n", synth.T(), synth.TotalTemporalEdges())
@@ -119,13 +119,13 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			log.Fatalf("vrdag-gen: %v", err)
+			fatalf("vrdag-gen: %v", err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := dyngraph.Save(w, synth); err != nil {
-		log.Fatalf("vrdag-gen: write failed: %v", err)
+		fatalf("vrdag-gen: write failed: %v", err)
 	}
 }
 
@@ -143,4 +143,10 @@ func loadInput(inPath, dataset string, scale float64, seed int64) (*dyngraph.Seq
 	}
 	g, _, err := datasets.Replica(dataset, scale, seed)
 	return g, err
+}
+
+// fatalf emits one structured error line and exits non-zero.
+func fatalf(format string, args ...any) {
+	obs.NewLogger(os.Stderr, "text").Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

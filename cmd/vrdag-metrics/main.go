@@ -9,11 +9,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/metrics"
+	"vrdag/internal/obs"
 	"vrdag/internal/textplot"
 )
 
@@ -92,12 +92,18 @@ func describe(g *dyngraph.Sequence) {
 func load(path string) *dyngraph.Sequence {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatalf("vrdag-metrics: %v", err)
+		fatalf("vrdag-metrics: %v", err)
 	}
 	defer f.Close()
 	g, err := dyngraph.Load(f)
 	if err != nil {
-		log.Fatalf("vrdag-metrics: %s: %v", path, err)
+		fatalf("vrdag-metrics: %s: %v", path, err)
 	}
 	return g
+}
+
+// fatalf emits one structured error line and exits non-zero.
+func fatalf(format string, args ...any) {
+	obs.NewLogger(os.Stderr, "text").Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

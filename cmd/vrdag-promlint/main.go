@@ -1,0 +1,54 @@
+// Command vrdag-promlint validates Prometheus text exposition
+// (version 0.0.4) read from stdin or a file, using the same in-repo
+// linter (internal/obs.Lint) the server's /metrics rendering is tested
+// against. CI pipes a live scrape through it:
+//
+//	curl -s http://localhost:8080/metrics | vrdag-promlint
+//	vrdag-promlint scrape.txt
+//
+// Exit status is 0 when the body is clean, 1 when any violation is
+// found (each printed on its own line), 2 on usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vrdag/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vrdag-promlint [file]\n\nReads Prometheus text exposition from file (or stdin) and lints it.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vrdag-promlint: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	errs := obs.Lint(in)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d problem(s)\n", name, len(errs))
+		os.Exit(1)
+	}
+}

@@ -35,9 +35,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only when -pprof is set
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,23 +47,29 @@ import (
 	"vrdag/internal/core"
 	"vrdag/internal/datasets"
 	"vrdag/internal/dyngraph"
+	"vrdag/internal/obs"
 	"vrdag/internal/server"
 	"vrdag/internal/tensor"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dataset = flag.String("dataset", "", "comma-separated dataset replicas to train and serve (email, bitcoin, wiki, guarantee, brain, gdelt)")
-		scale   = flag.Float64("scale", 0.05, "replica scale factor (1 = paper size)")
-		epochs  = flag.Int("epochs", 10, "training epochs for -dataset models")
-		seed    = flag.Int64("seed", 1, "seed for replica generation and training")
-		workers = flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "request queue slots (0 = 4x workers)")
-		maxT    = flag.Int("max-t", 512, "largest horizon accepted per request")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for draining in-flight (incl. streaming) responses")
-		quiet   = flag.Bool("quiet", false, "suppress training progress output")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataset  = flag.String("dataset", "", "comma-separated dataset replicas to train and serve (email, bitcoin, wiki, guarantee, brain, gdelt)")
+		scale    = flag.Float64("scale", 0.05, "replica scale factor (1 = paper size)")
+		epochs   = flag.Int("epochs", 10, "training epochs for -dataset models")
+		seed     = flag.Int64("seed", 1, "seed for replica generation and training")
+		workers  = flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "request queue slots (0 = 4x workers)")
+		maxT     = flag.Int("max-t", 512, "largest horizon accepted per request")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for draining in-flight (incl. streaming) responses")
+		quiet    = flag.Bool("quiet", false, "suppress training progress output")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
+		traceOn  = flag.Bool("trace", true, "record request traces (served on /v1/trace; off leaves a few atomic ops per request)")
+		traceCap = flag.Int("trace-ring", 256, "completed traces retained in the in-memory ring")
+		sample   = flag.Int("trace-sample", 1, "trace 1 in N requests (client-supplied X-Vrdag-Trace IDs always trace)")
+		slowMS   = flag.Float64("slow-ms", 0, "log any trace at least this many ms of wall time, spans included (0 disables)")
 
 		dataDir     = flag.String("data-dir", "", "persist forecast sessions under this directory (WAL + snapshots); empty keeps sessions in memory only")
 		snapEvery   = flag.Int("snapshot-every", 0, "compact a session's WAL into a snapshot every N ingests (0 = default 8; needs -data-dir)")
@@ -92,11 +97,22 @@ func main() {
 	})
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "vrdag-serve ", log.LstdFlags)
-	logger.Printf("compute backend %s (cpu features: %s)",
-		tensor.ActiveBackend(), strings.Join(tensor.CPUFeatures(), ","))
+	logger := obs.NewLogger(os.Stderr, *logFmt)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	logger.Info("compute backend", "backend", tensor.ActiveBackend(),
+		"cpu_features", strings.Join(tensor.CPUFeatures(), ","))
+	tracer := obs.New(obs.Config{
+		Disabled: !*traceOn,
+		Ring:     *traceCap,
+		Sample:   *sample,
+		SlowMS:   *slowMS,
+		Logger:   logger,
+	})
 	srv := server.New(server.Config{
-		Workers: *workers, Queue: *queue, MaxT: *maxT, Logger: logger,
+		Workers: *workers, Queue: *queue, MaxT: *maxT, Logger: logger, Tracer: tracer,
 		DataDir: *dataDir, SnapshotEvery: *snapEvery, MaxResident: *maxResident,
 		QuotaRate: *quotaRate, QuotaBurst: *quotaBurst, RequestTimeout: *reqTimeout,
 	})
@@ -104,22 +120,22 @@ func main() {
 	for name, path := range modelFlags {
 		m, err := loadCheckpoint(path)
 		if err != nil {
-			logger.Fatalf("load model %q: %v", name, err)
+			fatal("load model", "model", name, "err", err)
 		}
 		var ref *dyngraph.Sequence
 		if refPath, ok := refFlags[name]; ok {
 			if ref, err = loadSequence(refPath); err != nil {
-				logger.Fatalf("load reference %q: %v", name, err)
+				fatal("load reference", "model", name, "err", err)
 			}
 		}
 		if err := srv.Register(name, m, ref); err != nil {
-			logger.Fatalf("register %q: %v", name, err)
+			fatal("register model", "model", name, "err", err)
 		}
-		logger.Printf("model %q: %d parameters (checkpoint %s)", name, m.NumParams(), path)
+		logger.Info("model loaded", "model", name, "params", m.NumParams(), "checkpoint", path)
 	}
 	for name := range refFlags {
 		if _, ok := modelFlags[name]; !ok {
-			logger.Fatalf("-ref %s given without a matching -model", name)
+			fatal("-ref given without a matching -model", "model", name)
 		}
 	}
 
@@ -131,23 +147,23 @@ func main() {
 			}
 			g, _, err := datasets.Replica(name, *scale, *seed)
 			if err != nil {
-				logger.Fatalf("dataset %q: %v", name, err)
+				fatal("dataset", "dataset", name, "err", err)
 			}
 			cfg := core.DefaultConfig(g.N, g.F)
 			cfg.Epochs = *epochs
 			cfg.Seed = *seed
 			m := core.New(cfg)
-			logger.Printf("training %q: N=%d F=%d T=%d, %d parameters", name, g.N, g.F, g.T(), m.NumParams())
+			logger.Info("training", "model", name, "n", g.N, "f", g.F, "t", g.T(), "params", m.NumParams())
 			progress := func(s core.TrainStats) {
 				if !*quiet {
-					logger.Printf("  %q epoch %3d loss %.4f", name, s.Epoch, s.Loss)
+					logger.Info("epoch", "model", name, "epoch", s.Epoch, "loss", s.Loss)
 				}
 			}
 			if _, err := m.Fit(g, core.WithProgress(progress)); err != nil {
-				logger.Fatalf("train %q: %v", name, err)
+				fatal("train", "model", name, "err", err)
 			}
 			if err := srv.Register(name, m, g); err != nil {
-				logger.Fatalf("register %q: %v", name, err)
+				fatal("register model", "model", name, "err", err)
 			}
 		}
 	}
@@ -157,21 +173,29 @@ func main() {
 		// find their model; WAL tails past the last snapshot replay here.
 		n, err := srv.RecoverSessions()
 		if err != nil {
-			logger.Fatalf("recover sessions from %s: %v", *dataDir, err)
+			fatal("recover sessions", "data_dir", *dataDir, "err", err)
 		}
-		logger.Printf("data dir %s: recovered %d forecast session(s)", *dataDir, n)
+		logger.Info("sessions recovered", "data_dir", *dataDir, "sessions", n)
 	}
 
-	if *pprof != "" {
+	if *pprofOn != "" {
 		// The profiling endpoints live on their own listener (typically
-		// loopback-only), never on the public service address:
+		// loopback-only) and their own mux — never on DefaultServeMux,
+		// where any library's stray http.Handle would silently ride along
+		// on the profiling port:
 		//
 		//	go tool pprof http://localhost:6060/debug/pprof/profile
 		//	go tool pprof http://localhost:6060/debug/pprof/heap
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			logger.Printf("pprof listening on %s", *pprof)
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				logger.Printf("pprof: %v", err)
+			logger.Info("pprof listening", "addr", *pprofOn)
+			if err := http.ListenAndServe(*pprofOn, pmux); err != nil {
+				logger.Error("pprof", "err", err)
 			}
 		}()
 	}
@@ -182,7 +206,7 @@ func main() {
 	var node *cluster.Node
 	if *peers != "" {
 		if *advertise == "" {
-			logger.Fatalf("-peers requires -advertise (this node's URL within the peer list)")
+			fatal("-peers requires -advertise (this node's URL within the peer list)")
 		}
 		var peerList []string
 		for _, p := range strings.Split(*peers, ",") {
@@ -199,10 +223,10 @@ func main() {
 			Logger:   logger,
 		})
 		if err != nil {
-			logger.Fatalf("cluster: %v", err)
+			fatal("cluster", "err", err)
 		}
 		handler = node
-		logger.Printf("cluster mode: %d peers, %d replicas, ack=%s", len(peerList), *replicas, *clusterAck)
+		logger.Info("cluster mode", "peers", len(peerList), "replicas", *replicas, "ack", *clusterAck)
 	}
 
 	httpSrv := &http.Server{
@@ -220,14 +244,14 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		logger.Fatalf("listen: %v", err)
+		fatal("listen", "err", err)
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down: draining in-flight responses (deadline %s)", *drain)
+	logger.Info("shutting down: draining in-flight responses", "deadline", *drain)
 	// Cluster drain first: peers route our sessions to their replicas and
 	// the replication queues flush, so followers hold the full
 	// acknowledged prefix before we stop serving. Then BeginDrain:
@@ -242,14 +266,14 @@ func main() {
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		logger.Printf("shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
 	if node != nil {
 		node.Close()
 	}
 	srv.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("serve: %v", err)
+		logger.Error("serve", "err", err)
 	}
 }
 

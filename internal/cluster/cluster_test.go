@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -91,7 +91,7 @@ func newTestCluster(t *testing.T, size int, mutate func(i int, cfg *Config)) *te
 	t.Helper()
 	m, ref := clusterModel(t)
 	c := &testCluster{t: t, ft: NewFaultTransport(nil), killed: make([]bool, size)}
-	discard := log.New(io.Discard, "", 0)
+	discard := slog.New(slog.NewTextHandler(io.Discard, nil))
 	handlers := make([]*swapHandler, size)
 	for i := 0; i < size; i++ {
 		handlers[i] = &swapHandler{}
@@ -557,7 +557,7 @@ func TestClusterChaosKillDuringTraffic(t *testing.T) {
 	c := newTestCluster(t, 3, nil)
 	m, ref := clusterModel(t)
 
-	refSrv := server.New(server.Config{Queue: 64, Logger: log.New(io.Discard, "", 0)})
+	refSrv := server.New(server.Config{Queue: 64, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	if err := refSrv.Register("email", m, ref); err != nil {
 		t.Fatalf("register reference: %v", err)
 	}

@@ -3,8 +3,10 @@ package cluster
 import (
 	"bytes"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,7 +43,7 @@ type Config struct {
 	// Transport carries every cross-node request (probes, proxies,
 	// replication). Tests inject a FaultTransport; nil means the default.
 	Transport http.RoundTripper
-	Logger    *log.Logger
+	Logger    *slog.Logger
 }
 
 func (c *Config) defaults() error {
@@ -82,7 +84,7 @@ func (c *Config) defaults() error {
 		c.Transport = http.DefaultTransport
 	}
 	if c.Logger == nil {
-		c.Logger = log.New(log.Writer(), "vrdag-cluster ", log.LstdFlags)
+		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "cluster")
 	}
 	return nil
 }
@@ -104,7 +106,7 @@ type Node struct {
 	ring    *Ring
 	members *Membership
 	client  *http.Client
-	logger  *log.Logger
+	logger  *slog.Logger
 
 	draining atomic.Bool
 
@@ -158,6 +160,7 @@ func NewNode(local *server.Server, cfg Config) (*Node, error) {
 		}
 	})
 	local.SetStatsHook(func() any { return n.Stats() })
+	local.SetPromHook(n.renderProm)
 	n.members.Start()
 	for _, r := range n.replicators {
 		r.start()
@@ -298,6 +301,9 @@ func (n *Node) Stats() Stats {
 	for _, r := range n.replicators {
 		s.Replication = append(s.Replication, r.statsSnapshot())
 	}
+	// Map iteration order would leak into the JSON rendering; keep the
+	// /v1/metrics body byte-stable across scrapes of a quiesced node.
+	sort.Slice(s.Replication, func(i, j int) bool { return s.Replication[i].Peer < s.Replication[j].Peer })
 	return s
 }
 

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"vrdag/internal/obs"
+	"vrdag/internal/server"
+)
+
+// Cluster observability: the trace fan-out behind GET /v1/trace?id= and
+// the Prometheus families the node hangs off the local server's /metrics
+// through SetPromHook.
+
+// queryTrace answers GET /v1/trace?id= cluster-wide. A proxied or
+// replicated request leaves one trace per node it touched, all sharing
+// the client-visible ID; this merges the local tracer's copies with
+// every reachable peer's, each view stamped with the node that recorded
+// it, ordered by start time. Peers are asked with the forwarded marker
+// so they answer from their local ring instead of fanning out again.
+func (n *Node) queryTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	views := n.local.Tracer().ByID(id)
+	for i := range views {
+		views[i].Node = n.cfg.Self
+	}
+	for _, peer := range n.members.peers {
+		if !n.members.Routable(peer) {
+			continue
+		}
+		peerViews, err := n.fetchPeerTraces(r, peer, id)
+		if err != nil {
+			n.logger.Warn("trace query", "peer", peer, "err", err)
+			continue
+		}
+		views = append(views, peerViews...)
+	}
+	if len(views) == 0 {
+		n.writeError(w, http.StatusNotFound, "no retained trace %q on any reachable node", id)
+		return
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Start.Before(views[j].Start) })
+	n.writeJSON(w, http.StatusOK, server.TraceQueryResponse{
+		Stats:  n.local.Tracer().Stats(),
+		Traces: views,
+	})
+}
+
+func (n *Node) fetchPeerTraces(r *http.Request, peer, id string) ([]obs.TraceView, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), n.cfg.HeaderTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/trace?id="+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(server.HeaderForwarded, n.cfg.Self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil // the request never touched that peer
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var body server.TraceQueryResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&body); err != nil {
+		return nil, err
+	}
+	for i := range body.Traces {
+		if body.Traces[i].Node == "" {
+			body.Traces[i].Node = peer
+		}
+	}
+	return body.Traces, nil
+}
+
+// renderProm appends the cluster families to the local /metrics
+// exposition. Per-peer series are sorted by peer URL so the rendering is
+// deterministic.
+func (n *Node) renderProm(e *obs.Expo) {
+	ack := "replicate"
+	if n.cfg.AckLocal {
+		ack = "local"
+	}
+	e.Family("vrdag_cluster_info", "Cluster identity (value is always 1; self and ack mode are the labels).", "gauge")
+	e.Int("vrdag_cluster_info", []obs.L{{K: "self", V: n.cfg.Self}, {K: "ack", V: ack}}, 1)
+	e.Family("vrdag_cluster_proxied_total", "Session requests proxied to a peer owner.", "counter")
+	e.Int("vrdag_cluster_proxied_total", nil, n.proxied.Load())
+	e.Family("vrdag_cluster_proxy_retries_total", "Proxy attempts beyond the first owner.", "counter")
+	e.Int("vrdag_cluster_proxy_retries_total", nil, n.proxyRetries.Load())
+	e.Family("vrdag_cluster_acks_total", "Ingest acknowledgements, by durability scope.", "counter")
+	e.Int("vrdag_cluster_acks_total", []obs.L{{K: "scope", V: "local"}}, n.ackLocal.Load())
+	e.Int("vrdag_cluster_acks_total", []obs.L{{K: "scope", V: "replicated"}}, n.ackReplicated.Load())
+	e.Family("vrdag_cluster_replica_applied_total", "Replicated ingest bodies folded on this follower.", "counter")
+	e.Int("vrdag_cluster_replica_applied_total", nil, n.replicaApplied.Load())
+	e.Family("vrdag_cluster_replica_skipped_total", "Duplicate replication deliveries dropped by sequence.", "counter")
+	e.Int("vrdag_cluster_replica_skipped_total", nil, n.replicaSkipped.Load())
+	e.Family("vrdag_cluster_replica_rejected_total", "Replication bodies rejected by checksum or size.", "counter")
+	e.Int("vrdag_cluster_replica_rejected_total", nil, n.replicaRejected.Load())
+
+	peers := make([]string, 0, len(n.replicators))
+	for p := range n.replicators {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	e.Family("vrdag_cluster_replication_queue_len", "Catch-up queue depth toward a peer (0 = caught up).", "gauge")
+	for _, p := range peers {
+		st := n.replicators[p].statsSnapshot()
+		e.Int("vrdag_cluster_replication_queue_len", []obs.L{{K: "peer", V: p}}, int64(st.QueueLen))
+	}
+	e.Family("vrdag_cluster_replication_queue_bytes", "Catch-up queue bytes toward a peer.", "gauge")
+	for _, p := range peers {
+		st := n.replicators[p].statsSnapshot()
+		e.Int("vrdag_cluster_replication_queue_bytes", []obs.L{{K: "peer", V: p}}, st.QueueBytes)
+	}
+	e.Family("vrdag_cluster_replication_sent_total", "Synchronous replication sends confirmed, by peer.", "counter")
+	for _, p := range peers {
+		e.Int("vrdag_cluster_replication_sent_total", []obs.L{{K: "peer", V: p}}, n.replicators[p].sent.Load())
+	}
+	e.Family("vrdag_cluster_replication_flushed_total", "Catch-up queue sends confirmed, by peer.", "counter")
+	for _, p := range peers {
+		e.Int("vrdag_cluster_replication_flushed_total", []obs.L{{K: "peer", V: p}}, n.replicators[p].flushed.Load())
+	}
+	e.Family("vrdag_cluster_replication_failed_total", "Replication send attempts that errored, by peer.", "counter")
+	for _, p := range peers {
+		e.Int("vrdag_cluster_replication_failed_total", []obs.L{{K: "peer", V: p}}, n.replicators[p].failed.Load())
+	}
+	e.Family("vrdag_cluster_replication_dropped_total", "Replication payloads dropped as permanently rejected, by peer.", "counter")
+	for _, p := range peers {
+		e.Int("vrdag_cluster_replication_dropped_total", []obs.L{{K: "peer", V: p}}, n.replicators[p].dropped.Load())
+	}
+	e.Family("vrdag_cluster_peer_routable", "Whether the membership probe currently routes to a peer.", "gauge")
+	for _, p := range peers {
+		routable := int64(0)
+		if n.members.Routable(p) {
+			routable = 1
+		}
+		e.Int("vrdag_cluster_peer_routable", []obs.L{{K: "peer", V: p}}, routable)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vrdag/internal/obs"
 	"vrdag/internal/server"
 )
 
@@ -54,6 +55,7 @@ type repPayload struct {
 	body  []byte
 	crc   string
 	seq   uint64
+	trace string // originating request's trace ID; the follower's trace shares it
 }
 
 // errReplicaRejected marks a permanent replication failure (the follower
@@ -101,7 +103,7 @@ func (r *replicator) stop() {
 	r.wg.Wait()
 	r.mu.Lock()
 	if len(r.queue) > 0 {
-		r.n.logger.Printf("WARN replicator %s: dropping %d queued payloads at shutdown", r.peer, len(r.queue))
+		r.n.logger.Warn("dropping queued replication payloads at shutdown", "peer", r.peer, "queued", len(r.queue))
 		r.dropped.Add(int64(len(r.queue)))
 		r.queue, r.queueBytes = nil, 0
 	}
@@ -147,7 +149,7 @@ func (r *replicator) replicate(p repPayload) error {
 	case errors.Is(err, errReplicaRejected):
 		r.failed.Add(1)
 		r.dropped.Add(1)
-		r.n.logger.Printf("ERROR replicate %s session %q: %v", r.peer, p.sess, err)
+		r.n.logger.Error("replicate", "peer", r.peer, "session", p.sess, "trace", p.trace, "err", err)
 		return err
 	default:
 		// Transient or ambiguous: queue for ordered retry (the sequence
@@ -192,7 +194,7 @@ func (r *replicator) flushLoop() {
 				} else {
 					r.failed.Add(1)
 					r.dropped.Add(1)
-					r.n.logger.Printf("ERROR flush replica %s session %q: %v", r.peer, p.sess, err)
+					r.n.logger.Error("flush replica", "peer", r.peer, "session", p.sess, "trace", p.trace, "err", err)
 				}
 				r.mu.Lock()
 				r.queue = r.queue[1:]
@@ -233,6 +235,9 @@ func (r *replicator) send(p repPayload) error {
 	req.Header.Set(server.HeaderReplica, "1")
 	req.Header.Set(server.HeaderBodyCRC, p.crc)
 	req.Header.Set(server.HeaderRepSeq, strconv.FormatUint(p.seq, 10))
+	if p.trace != "" {
+		req.Header.Set(obs.Header, p.trace)
+	}
 	resp, err := r.n.client.Do(req)
 	if err != nil {
 		return err
@@ -315,16 +320,21 @@ func (n *Node) servePrimaryIngest(w http.ResponseWriter, r *http.Request, sess s
 		if !ok {
 			continue
 		}
-		p := repPayload{sess: sess, query: r.URL.RawQuery, body: body, crc: crc, seq: n.nextRepSeq(sess)}
+		p := repPayload{sess: sess, query: r.URL.RawQuery, body: body, crc: crc,
+			seq: n.nextRepSeq(sess), trace: obs.TraceID(r.Context())}
+		sp := obs.Start(r.Context(), "replicate").SetStr("peer", owner).SetInt("seq", int64(p.seq))
 		if n.cfg.AckLocal {
 			rep.enqueue(p)
+			sp.SetStr("outcome", "queued").End()
 			ack = "local"
 			continue
 		}
 		if err := rep.replicate(p); err != nil {
+			sp.SetErr(err).End()
 			ack = "local"
 			continue
 		}
+		sp.End()
 		replicated++
 	}
 	if replicated == 0 && ack == "replicated" {

@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"vrdag/internal/obs"
 	"vrdag/internal/server"
 )
 
@@ -24,8 +25,27 @@ import (
 // follower act as primary. Everything else (generation, metrics, models,
 // health) is node-local by design.
 
-// ServeHTTP implements http.Handler over the cluster routing layer.
+// ServeHTTP implements http.Handler over the cluster routing layer. The
+// node roots the request's trace here — before routing decides whether
+// the work happens locally or on a peer — so proxy and replication hops
+// land inside the same trace the local server's spans do. The local
+// server sees the trace already present on the context and leaves
+// ownership (Finish, the status) to this layer.
 func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if tr := obs.FromContext(r.Context()); tr == nil && server.TraceableRequest(r) {
+		ctx, tr := n.local.Tracer().StartTrace(r.Context(), r.Method+" "+r.URL.Path, r.Header.Get(obs.Header))
+		if tr != nil {
+			r = r.WithContext(ctx)
+			w.Header().Set(obs.Header, tr.ID)
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			defer func() { tr.Finish(sw.status) }()
+			w = sw
+		}
+	}
+	n.route(w, r)
+}
+
+func (n *Node) route(w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get(server.HeaderReplica) != "" {
 		n.serveReplica(w, r)
 		return
@@ -34,6 +54,8 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/v1/ingest" && r.Method == http.MethodPost:
 		n.routeIngest(w, r, forwarded)
+	case r.URL.Path == "/v1/trace" && r.Method == http.MethodGet && !forwarded && r.URL.Query().Get("id") != "":
+		n.queryTrace(w, r)
 	case forwarded:
 		n.local.ServeHTTP(w, r)
 	case r.URL.Path == "/v1/ingest" && r.Method == http.MethodGet:
@@ -44,6 +66,24 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.routeForecast(w, r)
 	default:
 		n.local.ServeHTTP(w, r)
+	}
+}
+
+// statusWriter captures the final status for the node-owned trace while
+// forwarding Flush, keeping streaming backpressure intact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
 	}
 }
 
@@ -152,7 +192,8 @@ func (n *Node) routeSession(w http.ResponseWriter, r *http.Request, sess string,
 				"proxy to %s failed after delivery may have happened: %v", target, err)
 			return
 		}
-		n.logger.Printf("WARN proxy %s %s to %s failed, trying next owner: %v", r.Method, r.URL.Path, target, err)
+		n.logger.Warn("proxy failed, trying next owner", "method", r.Method, "path", r.URL.Path,
+			"peer", target, "trace", obs.TraceID(r.Context()), "err", err)
 	}
 	w.Header().Set("Retry-After", "1")
 	n.writeError(w, http.StatusServiceUnavailable,
@@ -172,6 +213,7 @@ func safeToRetry(err error) bool {
 // arrive, the hop is committed and mid-stream failures only log.
 func (n *Node) proxyTo(w http.ResponseWriter, r *http.Request, target string, body []byte) error {
 	n.proxied.Add(1)
+	sp := obs.Start(r.Context(), "proxy").SetStr("peer", target)
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	url := target + r.URL.Path
@@ -180,6 +222,7 @@ func (n *Node) proxyTo(w http.ResponseWriter, r *http.Request, target string, bo
 	}
 	req, err := http.NewRequestWithContext(ctx, r.Method, url, bytes.NewReader(body))
 	if err != nil {
+		sp.SetErr(err).End()
 		return err
 	}
 	req.ContentLength = int64(len(body))
@@ -187,6 +230,11 @@ func (n *Node) proxyTo(w http.ResponseWriter, r *http.Request, target string, bo
 		req.Header[k] = vs
 	}
 	req.Header.Set(server.HeaderForwarded, n.cfg.Self)
+	// The hop carries the trace ID, so the peer's trace of the forwarded
+	// request shares this one's ID and /v1/trace?id= merges both halves.
+	if id := obs.TraceID(r.Context()); id != "" {
+		req.Header.Set(obs.Header, id)
+	}
 
 	// Bound the wait for response headers without capping the response
 	// body — a forecast stream may legitimately flow for minutes.
@@ -194,17 +242,22 @@ func (n *Node) proxyTo(w http.ResponseWriter, r *http.Request, target string, bo
 	resp, err := n.client.Do(req)
 	if err != nil {
 		headerTimer.Stop()
+		sp.SetErr(err).End()
 		return err
 	}
 	headerTimer.Stop()
 	defer resp.Body.Close()
+	sp.SetInt("status", int64(resp.StatusCode))
 
 	for k, vs := range resp.Header {
 		w.Header()[k] = vs
 	}
 	w.WriteHeader(resp.StatusCode)
-	if err := flushCopy(w, resp.Body); err != nil && r.Context().Err() == nil {
-		n.logger.Printf("WARN proxy stream from %s ended early: %v", target, err)
+	err = flushCopy(w, resp.Body)
+	sp.SetErr(err).End()
+	if err != nil && r.Context().Err() == nil {
+		n.logger.Warn("proxy stream ended early", "peer", target,
+			"trace", obs.TraceID(r.Context()), "err", err)
 	}
 	return nil
 }
@@ -247,7 +300,7 @@ func (n *Node) listSessions(w http.ResponseWriter, r *http.Request) {
 		}
 		peerInfos, err := n.fetchPeerSessions(r.Context(), peer)
 		if err != nil {
-			n.logger.Printf("WARN list sessions from %s: %v", peer, err)
+			n.logger.Warn("list sessions", "peer", peer, "err", err)
 			continue
 		}
 		for i := range peerInfos {
@@ -374,7 +427,7 @@ func (n *Node) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
-		n.logger.Printf("ERROR encode response: %v", err)
+		n.logger.Error("encode response", "err", err)
 	}
 }
 

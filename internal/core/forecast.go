@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vrdag/internal/dyngraph"
+	"vrdag/internal/obs"
 	"vrdag/internal/tensor"
 )
 
@@ -211,10 +212,13 @@ func (m *Model) Encode(ctx context.Context, prefix *dyngraph.Sequence) (*Forecas
 			st.Release()
 			return nil, err
 		}
+		sp := obs.Start(ctx, "encode")
 		if err := m.EncodeSnapshot(st, snap); err != nil {
+			sp.SetErr(err).End()
 			st.Release()
 			return nil, err
 		}
+		sp.SetInt("t", int64(st.steps-1)).SetInt("edges", int64(snap.NumEdges())).End()
 	}
 	return st, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"vrdag/internal/dyngraph"
+	"vrdag/internal/obs"
 	"vrdag/internal/tensor"
 )
 
@@ -95,11 +96,21 @@ func (m *Model) generate(ctx context.Context, opts GenOptions, yield func(*dyngr
 	}
 	st := m.newGenState(opts, recycle, init)
 	defer st.release()
+	traced := obs.FromContext(ctx) != nil
 	for t := 0; t < opts.T; t++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := yield(st.step(t)); err != nil {
+		if !traced {
+			if err := yield(st.step(t)); err != nil {
+				return err
+			}
+			continue
+		}
+		sp := obs.Start(ctx, "decode")
+		snap := st.step(t)
+		sp.SetInt("t", int64(t)).SetInt("edges", int64(snap.NumEdges())).End()
+		if err := yield(snap); err != nil {
 			return err
 		}
 	}

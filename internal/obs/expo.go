@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+)
+
+// Expo builds Prometheus text-exposition output (version 0.0.4) with no
+// external dependencies. Callers are responsible for stable ordering:
+// emit families once, and samples of a family contiguously with sorted
+// label values, so successive scrapes diff cleanly.
+type Expo struct {
+	b bytes.Buffer
+}
+
+// L is one label pair.
+type L struct {
+	K, V string
+}
+
+// ContentType is the exposition content type for /metrics responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Family writes the # HELP / # TYPE header for a metric family. typ is
+// "counter", "gauge", or "histogram".
+func (e *Expo) Family(name, help, typ string) {
+	e.b.WriteString("# HELP ")
+	e.b.WriteString(name)
+	e.b.WriteByte(' ')
+	e.b.WriteString(help)
+	e.b.WriteString("\n# TYPE ")
+	e.b.WriteString(name)
+	e.b.WriteByte(' ')
+	e.b.WriteString(typ)
+	e.b.WriteByte('\n')
+}
+
+// Sample writes one sample line: name{labels} value.
+func (e *Expo) Sample(name string, labels []L, v float64) {
+	e.b.WriteString(name)
+	e.writeLabels(labels)
+	e.b.WriteByte(' ')
+	e.b.WriteString(formatValue(v))
+	e.b.WriteByte('\n')
+}
+
+// Int writes one integer-valued sample line.
+func (e *Expo) Int(name string, labels []L, v int64) {
+	e.b.WriteString(name)
+	e.writeLabels(labels)
+	e.b.WriteByte(' ')
+	e.b.WriteString(strconv.FormatInt(v, 10))
+	e.b.WriteByte('\n')
+}
+
+// Histogram writes a full histogram series for one labelset:
+// cumulative {le} buckets (the +Inf bucket synthesized from the total),
+// then _sum and _count. bounds are the upper bounds matching perBucket;
+// perBucket must have len(bounds)+1 entries, the last being the
+// overflow count, exactly the shape of the server's latency buckets.
+func (e *Expo) Histogram(name string, labels []L, bounds []float64, perBucket []int64, sum float64) {
+	cum := int64(0)
+	for i, b := range bounds {
+		cum += perBucket[i]
+		e.Int(name+"_bucket", append(labels[:len(labels):len(labels)], L{"le", formatValue(b)}), cum)
+	}
+	if len(perBucket) > len(bounds) {
+		cum += perBucket[len(bounds)]
+	}
+	e.Int(name+"_bucket", append(labels[:len(labels):len(labels)], L{"le", "+Inf"}), cum)
+	e.Sample(name+"_sum", labels, sum)
+	e.Int(name+"_count", labels, cum)
+}
+
+func (e *Expo) writeLabels(labels []L) {
+	if len(labels) == 0 {
+		return
+	}
+	e.b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			e.b.WriteByte(',')
+		}
+		e.b.WriteString(l.K)
+		e.b.WriteString(`="`)
+		escapeLabel(&e.b, l.V)
+		e.b.WriteByte('"')
+	}
+	e.b.WriteByte('}')
+}
+
+func escapeLabel(b *bytes.Buffer, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Bytes returns the rendered exposition body.
+func (e *Expo) Bytes() []byte { return e.b.Bytes() }

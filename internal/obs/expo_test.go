@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExpoGolden(t *testing.T) {
+	var e Expo
+	e.Family("vrdag_http_requests_total", "Requests served.", "counter")
+	e.Int("vrdag_http_requests_total", []L{{"path", "/v1/generate"}}, 7)
+	e.Int("vrdag_http_requests_total", []L{{"path", "/v1/ingest"}}, 3)
+	e.Family("vrdag_up", "Always 1.", "gauge")
+	e.Sample("vrdag_up", nil, 1)
+	e.Family("vrdag_http_request_duration_ms", "Latency.", "histogram")
+	e.Histogram("vrdag_http_request_duration_ms", []L{{"path", "/v1/generate"}},
+		[]float64{1, 2.5, 5}, []int64{2, 1, 0, 3}, 42.5)
+
+	want := strings.Join([]string{
+		"# HELP vrdag_http_requests_total Requests served.",
+		"# TYPE vrdag_http_requests_total counter",
+		`vrdag_http_requests_total{path="/v1/generate"} 7`,
+		`vrdag_http_requests_total{path="/v1/ingest"} 3`,
+		"# HELP vrdag_up Always 1.",
+		"# TYPE vrdag_up gauge",
+		"vrdag_up 1",
+		"# HELP vrdag_http_request_duration_ms Latency.",
+		"# TYPE vrdag_http_request_duration_ms histogram",
+		`vrdag_http_request_duration_ms_bucket{path="/v1/generate",le="1"} 2`,
+		`vrdag_http_request_duration_ms_bucket{path="/v1/generate",le="2.5"} 3`,
+		`vrdag_http_request_duration_ms_bucket{path="/v1/generate",le="5"} 3`,
+		`vrdag_http_request_duration_ms_bucket{path="/v1/generate",le="+Inf"} 6`,
+		`vrdag_http_request_duration_ms_sum{path="/v1/generate"} 42.5`,
+		`vrdag_http_request_duration_ms_count{path="/v1/generate"} 6`,
+		"",
+	}, "\n")
+	if got := string(e.Bytes()); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if errs := Lint(bytes.NewReader(e.Bytes())); len(errs) != 0 {
+		t.Fatalf("golden output fails lint: %v", errs)
+	}
+}
+
+func TestExpoLabelEscaping(t *testing.T) {
+	var e Expo
+	e.Family("x_total", "h", "counter")
+	e.Int("x_total", []L{{"tenant", `a"b\c` + "\n"}}, 1)
+	want := `x_total{tenant="a\"b\\c\n"} 1` + "\n"
+	if got := string(e.Bytes()); !strings.HasSuffix(got, want) {
+		t.Fatalf("escaping: got %q, want suffix %q", got, want)
+	}
+	if errs := Lint(bytes.NewReader(e.Bytes())); len(errs) != 0 {
+		t.Fatalf("escaped output fails lint: %v", errs)
+	}
+}
+
+func lintStr(s string) []error { return Lint(strings.NewReader(s)) }
+
+func TestLintCatches(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // substring of an expected error
+	}{
+		{"bad metric name", "# HELP 0bad h\n# TYPE 0bad counter\n0bad 1\n", "invalid metric name"},
+		{"bad label name", "# HELP x h\n# TYPE x counter\nx{0l=\"v\"} 1\n", "invalid label name"},
+		{"sample without family", "orphan 1\n", "no TYPE/HELP family"},
+		{"help without type", "# HELP x h\n", "HELP but no TYPE"},
+		{"type without help", "# TYPE x counter\nx 1\n", "TYPE but no HELP"},
+		{"duplicate type", "# HELP x h\n# TYPE x counter\n# TYPE x counter\nx 1\n", "duplicate TYPE"},
+		{"unknown type", "# HELP x h\n# TYPE x fancy\nx 1\n", "unknown TYPE"},
+		{"bad value", "# HELP x h\n# TYPE x counter\nx one\n", "bad value"},
+		{"non-contiguous family",
+			"# HELP a h\n# TYPE a counter\n# HELP b h\n# TYPE b counter\na 1\nb 1\na 2\n",
+			"not contiguous"},
+		{"buckets out of order",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"out of order"},
+		{"buckets decrease",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"decrease"},
+		{"missing +Inf",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"missing le=\"+Inf\""},
+		{"count mismatch",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"_count 3 != +Inf bucket 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintStr(tc.body)
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("lint errors %v missing %q", errs, tc.want)
+		})
+	}
+}
+
+func TestLintCleanBody(t *testing.T) {
+	body := strings.Join([]string{
+		"# HELP vrdag_up Always 1.",
+		"# TYPE vrdag_up gauge",
+		"vrdag_up 1",
+		"# HELP h Latency.",
+		"# TYPE h histogram",
+		`h_bucket{path="/p",le="1"} 1`,
+		`h_bucket{path="/p",le="+Inf"} 4`,
+		`h_sum{path="/p"} 9.5`,
+		`h_count{path="/p"} 4`,
+		`h_bucket{path="/q",le="1"} 0`,
+		`h_bucket{path="/q",le="+Inf"} 0`,
+		`h_sum{path="/q"} 0`,
+		`h_count{path="/q"} 0`,
+		"",
+	}, "\n")
+	if errs := lintStr(body); len(errs) != 0 {
+		t.Fatalf("clean body flagged: %v", errs)
+	}
+}

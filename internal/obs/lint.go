@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates Prometheus text-exposition output: metric and label
+// name charsets, HELP/TYPE pairing before samples, family contiguity,
+// ascending monotone cumulative histogram buckets ending in +Inf, and
+// _count agreeing with the +Inf bucket. It returns every violation
+// found (nil for a clean body). This is the in-repo linter the CI smoke
+// leg runs against a live /metrics scrape.
+func Lint(r io.Reader) []error {
+	l := &linter{
+		help: map[string]bool{},
+		typ:  map[string]string{},
+		seen: map[string]bool{},
+		hist: map[string]*histSeries{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		l.line(line, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("read: %w", err))
+	}
+	l.finish()
+	return l.errs
+}
+
+type histSeries struct {
+	line   int
+	lastLE float64
+	lastV  int64
+	hasInf bool
+	infV   int64
+	count  int64
+	hasCnt bool
+}
+
+type linter struct {
+	errs []error
+	help map[string]bool
+	typ  map[string]string
+	seen map[string]bool // families whose sample block has appeared
+	cur  string          // family of the current sample block
+	hist map[string]*histSeries
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, s string) {
+	if s == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		fields := strings.SplitN(s, " ", 4)
+		if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+			name := fields[2]
+			if !validMetricName(name) {
+				l.errf(n, "invalid metric name %q in %s", name, fields[1])
+				return
+			}
+			if fields[1] == "HELP" {
+				if l.help[name] {
+					l.errf(n, "duplicate HELP for %q", name)
+				}
+				l.help[name] = true
+			} else {
+				if len(fields) < 4 {
+					l.errf(n, "TYPE for %q missing type", name)
+					return
+				}
+				t := fields[3]
+				switch t {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					l.errf(n, "unknown TYPE %q for %q", t, name)
+				}
+				if _, dup := l.typ[name]; dup {
+					l.errf(n, "duplicate TYPE for %q", name)
+				}
+				l.typ[name] = t
+				if l.seen[name] {
+					l.errf(n, "TYPE for %q after its samples", name)
+				}
+			}
+		}
+		return
+	}
+	name, labels, val, ok := l.parseSample(n, s)
+	if !ok {
+		return
+	}
+	fam := l.familyOf(name)
+	if fam == "" {
+		l.errf(n, "sample %q has no TYPE/HELP family", name)
+		return
+	}
+	if !l.help[fam] {
+		l.errf(n, "sample %q before HELP for %q", name, fam)
+	}
+	if fam != l.cur {
+		if l.seen[fam] {
+			l.errf(n, "samples of family %q are not contiguous", fam)
+		}
+		l.seen[fam] = true
+		l.cur = fam
+	}
+	if l.typ[fam] == "histogram" {
+		l.histSample(n, fam, name, labels, val)
+	}
+}
+
+// parseSample splits "name{k=\"v\",...} value [ts]".
+func (l *linter) parseSample(n int, s string) (name string, labels []L, val float64, ok bool) {
+	rest := s
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		l.errf(n, "malformed sample %q", s)
+		return
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		l.errf(n, "invalid metric name %q", name)
+		return
+	}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+				l.errf(n, "malformed labels in %q", s)
+				return
+			}
+			k := rest[:eq]
+			if !validLabelName(k) {
+				l.errf(n, "invalid label name %q", k)
+				return
+			}
+			rest = rest[eq+2:]
+			var v strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					j++
+					switch rest[j] {
+					case 'n':
+						v.WriteByte('\n')
+					default:
+						v.WriteByte(rest[j])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				v.WriteByte(c)
+			}
+			if !closed {
+				l.errf(n, "unterminated label value in %q", s)
+				return
+			}
+			labels = append(labels, L{k, v.String()})
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			l.errf(n, "malformed labels in %q", s)
+			return
+		}
+	} else {
+		rest = rest[i:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errf(n, "malformed value in %q", s)
+		return
+	}
+	var err error
+	val, err = parseValue(fields[0])
+	if err != nil {
+		l.errf(n, "bad value %q: %v", fields[0], err)
+		return
+	}
+	return name, labels, val, true
+}
+
+func (l *linter) familyOf(name string) string {
+	if _, ok := l.typ[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if l.typ[base] == "histogram" || l.typ[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+func (l *linter) histSample(n int, fam, name string, labels []L, val float64) {
+	var le string
+	hasLE := false
+	rest := make([]L, 0, len(labels))
+	for _, lb := range labels {
+		if lb.K == "le" {
+			le, hasLE = lb.V, true
+			continue
+		}
+		rest = append(rest, lb)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].K < rest[j].K })
+	key := fam
+	for _, lb := range rest {
+		key += "\x00" + lb.K + "\x01" + lb.V
+	}
+	hs := l.hist[key]
+	if hs == nil {
+		hs = &histSeries{line: n, lastLE: math.Inf(-1), lastV: -1}
+		l.hist[key] = hs
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if !hasLE {
+			l.errf(n, "%s_bucket missing le label", fam)
+			return
+		}
+		bound, err := parseValue(le)
+		if err != nil {
+			l.errf(n, "bad le %q: %v", le, err)
+			return
+		}
+		if bound <= hs.lastLE {
+			l.errf(n, "%s buckets out of order: le=%q after le=%v", fam, le, hs.lastLE)
+		}
+		v := int64(val)
+		if hs.lastV >= 0 && v < hs.lastV {
+			l.errf(n, "%s cumulative buckets decrease at le=%q (%d < %d)", fam, le, v, hs.lastV)
+		}
+		hs.lastLE, hs.lastV = bound, v
+		if math.IsInf(bound, 1) {
+			hs.hasInf, hs.infV = true, v
+		}
+	case strings.HasSuffix(name, "_count"):
+		hs.count, hs.hasCnt = int64(val), true
+	}
+}
+
+func (l *linter) finish() {
+	for key, hs := range l.hist {
+		fam := key
+		if i := strings.IndexByte(key, '\x00'); i >= 0 {
+			fam = key[:i]
+		}
+		if !hs.hasInf {
+			l.errf(hs.line, "histogram %s series missing le=\"+Inf\" bucket", fam)
+			continue
+		}
+		if hs.hasCnt && hs.count != hs.infV {
+			l.errf(hs.line, "histogram %s: _count %d != +Inf bucket %d", fam, hs.count, hs.infV)
+		}
+	}
+	// Families with TYPE but no HELP (or vice versa) that emitted samples
+	// were already flagged per sample; a declared family with no samples
+	// is fine. But TYPE without HELP is still a pairing error.
+	for name := range l.typ {
+		if !l.help[name] {
+			l.errs = append(l.errs, fmt.Errorf("family %q has TYPE but no HELP", name))
+		}
+	}
+	for name := range l.help {
+		if _, ok := l.typ[name]; !ok {
+			l.errs = append(l.errs, fmt.Errorf("family %q has HELP but no TYPE", name))
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"errors"
@@ -17,6 +18,7 @@ import (
 	"vrdag/internal/durable"
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/ingest"
+	"vrdag/internal/obs"
 )
 
 // Session durability. When Config.DataDir is set, every forecast session
@@ -147,7 +149,7 @@ func (s *Server) setDegraded(err error) {
 	s.degradedMu.Lock()
 	if s.degradedWhy == "" {
 		s.degradedWhy = err.Error()
-		s.logger.Printf("ERROR persistence failed, entering degraded read-only mode: %v", err)
+		s.logger.Error("persistence failed, entering degraded read-only mode", "err", err)
 	}
 	s.degradedMu.Unlock()
 	s.degraded.Store(true)
@@ -204,8 +206,16 @@ func (s *Server) ensureWALLocked(fs *forecastSession) error {
 // appendSessionWALLocked makes one ingest request durable before it is
 // folded: the raw body and flush flag are framed, appended, and fsynced.
 // On error nothing was acknowledged and the caller must not fold.
-// Caller holds fs.mu.
-func (s *Server) appendSessionWALLocked(fs *forecastSession, body []byte, flush bool) error {
+// Caller holds fs.mu. ctx carries the request trace; the span covers
+// framing, append, and the fsync the WAL performs inside Append.
+func (s *Server) appendSessionWALLocked(ctx context.Context, fs *forecastSession, body []byte, flush bool) error {
+	sp := obs.Start(ctx, "wal.append").SetInt("bytes", int64(len(body)))
+	err := s.doAppendSessionWALLocked(fs, body, flush)
+	sp.SetErr(err).End()
+	return err
+}
+
+func (s *Server) doAppendSessionWALLocked(fs *forecastSession, body []byte, flush bool) error {
 	if err := s.ensureSessionDurableLocked(fs); err != nil {
 		return err
 	}
@@ -378,7 +388,7 @@ func (s *Server) flushDirtySessions() {
 			if err := s.snapshotSessionLocked(fs); err != nil {
 				// The WAL still holds every acknowledged append, so no
 				// data is lost — the next start just replays more.
-				s.logger.Printf("ERROR flush session %q: %v", fs.name, err)
+				s.logger.Error("flush session", "session", fs.name, "err", err)
 				s.setDegraded(err)
 			}
 		}
@@ -446,7 +456,7 @@ func (s *Server) sweepDurable(now time.Time) {
 			continue
 		}
 		if err := s.spillSession(c.fs); err != nil {
-			s.logger.Printf("ERROR spill session %q: %v", c.fs.name, err)
+			s.logger.Error("spill session", "session", c.fs.name, "err", err)
 			s.setDegraded(err)
 			return
 		}
@@ -492,7 +502,7 @@ func (s *Server) RecoverSessions() (int, error) {
 		}
 		fs, err := s.recoverSession(name)
 		if err != nil {
-			s.logger.Printf("WARN skipping unrecoverable session %q: %v", name, err)
+			s.logger.Warn("skipping unrecoverable session", "session", name, "err", err)
 			continue
 		}
 		s.sessMu.Lock()

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -28,7 +28,7 @@ func newDurableServer(t *testing.T, dir string, mut func(*Config)) (*Server, *ht
 		Queue:         64,
 		DataDir:       dir,
 		SweepInterval: -1,
-		Logger:        log.New(io.Discard, "", 0),
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	if mut != nil {
 		mut(&cfg)

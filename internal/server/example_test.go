@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 
@@ -32,7 +32,7 @@ func Example() {
 	}
 
 	// Stand the service up and register the model with its reference.
-	s := server.New(server.Config{Logger: log.New(io.Discard, "", 0)})
+	s := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	defer s.Close()
 	if err := s.Register("demo", m, g); err != nil {
 		fmt.Println("register failed:", err)

@@ -1,0 +1,411 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vrdag/internal/obs"
+)
+
+// Tests for the observability surface: the lock-free endpoint histogram's
+// bucket discipline under both renderings, deterministic /v1/metrics JSON,
+// a lint-clean Prometheus exposition, and the /v1/trace query endpoint.
+
+// TestEndpointStatsBucketBoundaries pins the strict-> bucket walk: a
+// latency exactly on a bound lands in that bound's bucket, one microsecond
+// over rolls into the next, and anything past the last bound lands in the
+// implicit +Inf slot. Both the JSON snapshot and the Prometheus histogram
+// rendering are checked against the same table so the two surfaces cannot
+// drift apart.
+func TestEndpointStatsBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{500 * time.Microsecond, 0},
+		{1 * time.Millisecond, 0},    // exactly on the 1ms bound
+		{1001 * time.Microsecond, 1}, // 1µs over rolls into the 2.5ms bucket
+		{2500 * time.Microsecond, 1}, // exactly on the 2.5ms bound
+		{2501 * time.Microsecond, 2},
+		{10 * time.Millisecond, 3},
+		{25 * time.Millisecond, 4},
+		{5 * time.Second, len(latencyBucketsMS) - 1}, // exactly on the last bound
+		{6 * time.Second, len(latencyBucketsMS)},     // +Inf
+	}
+
+	var e endpointStats
+	want := make([]int64, len(latencyBucketsMS)+1)
+	for _, c := range cases {
+		e.observe(http.StatusOK, c.d)
+		want[c.bucket]++
+	}
+
+	// JSON rendering: the snapshot's per-bucket counts.
+	snap := e.snapshot()
+	if snap.Requests != int64(len(cases)) {
+		t.Fatalf("requests = %d, want %d", snap.Requests, len(cases))
+	}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Errorf("json bucket[%d] = %d, want %d", i, snap.Buckets[i], w)
+		}
+	}
+
+	// Prometheus rendering: cumulative counts per le bound, read back out
+	// of a real server's exposition for the /v1/generate path.
+	s := New(Config{Queue: 4, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	defer s.Close()
+	st := s.statsFor("/v1/generate")
+	for _, c := range cases {
+		st.observe(http.StatusOK, c.d)
+	}
+	var expo obs.Expo
+	s.renderProm(&expo)
+	text := string(expo.Bytes())
+
+	cum := int64(0)
+	for i, bound := range latencyBucketsMS {
+		cum += want[i]
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		if got := promBucketValue(t, text, "/v1/generate", le); got != cum {
+			t.Errorf("prom bucket le=%s = %d, want %d", le, got, cum)
+		}
+	}
+	if got := promBucketValue(t, text, "/v1/generate", "+Inf"); got != int64(len(cases)) {
+		t.Errorf("prom bucket le=+Inf = %d, want %d", got, len(cases))
+	}
+}
+
+// promBucketValue extracts one vrdag_http_request_duration_ms_bucket
+// sample from rendered exposition text, matching on labels rather than
+// label order.
+func promBucketValue(t *testing.T, text, path, le string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "vrdag_http_request_duration_ms_bucket{") {
+			continue
+		}
+		if !strings.Contains(line, `path="`+path+`"`) || !strings.Contains(line, `le="`+le+`"`) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("parse bucket sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("no duration bucket sample for path=%s le=%s in exposition", path, le)
+	return 0
+}
+
+// TestEndpointStatsConcurrentObserve races writers against snapshot
+// readers (run under -race in CI) and checks nothing is lost: every
+// observation lands in exactly one bucket and the counters agree.
+func TestEndpointStatsConcurrentObserve(t *testing.T) {
+	const writers, perWriter = 8, 500
+	var e endpointStats
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			// Mid-flight snapshots carry no cross-counter invariant (the
+			// loads are independent), so the readers' job is purely to
+			// race against observe — -race flags any unsynchronized access.
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := e.snapshot()
+				if snap.Requests < 0 {
+					t.Error("negative request count")
+					return
+				}
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				status := http.StatusOK
+				if i%7 == 0 {
+					status = http.StatusTooManyRequests
+				}
+				e.observe(status, time.Duration(i%20)*time.Millisecond)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := e.snapshot()
+	if snap.Requests != writers*perWriter {
+		t.Fatalf("requests = %d, want %d", snap.Requests, writers*perWriter)
+	}
+	var inBuckets int64
+	for _, b := range snap.Buckets {
+		inBuckets += b
+	}
+	if inBuckets != writers*perWriter {
+		t.Fatalf("bucket sum = %d, want %d", inBuckets, writers*perWriter)
+	}
+	if snap.Errors != snap.Shed || snap.Shed == 0 {
+		t.Fatalf("errors=%d shed=%d, want equal and non-zero (all errors were 429s)", snap.Errors, snap.Shed)
+	}
+}
+
+// TestMetricsJSONDeterministic renders the stats twice on a quiesced
+// server and requires byte-identical JSON once the only legitimately
+// time-varying field (uptime) is zeroed — pinning that map iteration
+// order never leaks into the /v1/metrics wire form.
+func TestMetricsJSONDeterministic(t *testing.T) {
+	srv, ts := newTestServer(t)
+	seed := int64(7)
+	if resp, _ := postGenerate(t, ts.URL, GenerateRequest{Model: "email", T: 2, Seed: &seed}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up generate: status %d", resp.StatusCode)
+	}
+	http.Get(ts.URL + "/no/such/path") // populate the catch-all slot too
+
+	render := func() []byte {
+		st := srv.serverStats()
+		st.UptimeS = 0
+		enc, err := json.Marshal(st)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return enc
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("successive renders differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestPromExpositionLintsClean scrapes a live server and runs the
+// exposition through the in-repo linter — the same gate CI applies via
+// cmd/vrdag-promlint.
+func TestPromExpositionLintsClean(t *testing.T) {
+	_, ts := newTestServer(t)
+	seed := int64(11)
+	postGenerate(t, ts.URL, GenerateRequest{Model: "email", T: 2, Seed: &seed})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, obs.ContentType)
+	}
+	if errs := obs.Lint(bytes.NewReader(body)); len(errs) > 0 {
+		t.Fatalf("exposition lint: %v", errs)
+	}
+	for _, family := range []string{
+		"vrdag_up", "vrdag_http_requests_total", "vrdag_http_request_duration_ms_bucket",
+		"vrdag_tracing_enabled", "vrdag_traces_started_total", "vrdag_compute_backend",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("exposition missing family %s", family)
+		}
+	}
+
+	post, err := http.Post(ts.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatalf("POST /metrics: %v", err)
+	}
+	io.Copy(io.Discard, post.Body)
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics: status %d, want 405", post.StatusCode)
+	}
+}
+
+// TestTraceEndpointClientSuppliedID drives a generate with an
+// X-Vrdag-Trace header and reads the trace back by that ID: the response
+// must echo the ID, and the retained trace must carry admit and decode
+// spans whose offsets sit inside the recorded wall time.
+func TestTraceEndpointClientSuppliedID(t *testing.T) {
+	_, ts := newTestServer(t)
+	const id = "0badc0de0badc0de0badc0de0badc0de"
+	seed := int64(5)
+	body, _ := json.Marshal(GenerateRequest{Model: "email", T: 3, Seed: &seed})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/generate", bytes.NewReader(body))
+	req.Header.Set(obs.Header, id)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	wall := time.Since(start)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.Header); got != id {
+		t.Fatalf("response trace header = %q, want %q", got, id)
+	}
+
+	tr, err := http.Get(ts.URL + "/v1/trace?id=" + id)
+	if err != nil {
+		t.Fatalf("GET /v1/trace: %v", err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace query: status %d", tr.StatusCode)
+	}
+	var out TraceQueryResponse
+	if err := json.NewDecoder(tr.Body).Decode(&out); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if len(out.Traces) != 1 {
+		t.Fatalf("got %d traces for id, want 1", len(out.Traces))
+	}
+	v := out.Traces[0]
+	if v.ID != id || v.Status != http.StatusOK {
+		t.Fatalf("trace view: id=%q status=%d", v.ID, v.Status)
+	}
+	checkSpanCoverage(t, []obs.TraceView{v}, "admit", "decode")
+	checkSpanTimes(t, v, wall)
+	if n := countSpans(v, "decode"); n != 3 {
+		t.Fatalf("decode spans = %d, want one per timestep (3)", n)
+	}
+
+	// An unknown ID is a 404, and the no-id form returns recent/slowest.
+	if r404, _ := http.Get(ts.URL + "/v1/trace?id=ffffffffffffffff"); r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", r404.StatusCode)
+	} else {
+		io.Copy(io.Discard, r404.Body)
+		r404.Body.Close()
+	}
+	rr, err := http.Get(ts.URL + "/v1/trace?n=5")
+	if err != nil {
+		t.Fatalf("GET /v1/trace?n=5: %v", err)
+	}
+	defer rr.Body.Close()
+	var recent TraceQueryResponse
+	if err := json.NewDecoder(rr.Body).Decode(&recent); err != nil {
+		t.Fatalf("decode recent: %v", err)
+	}
+	if len(recent.Recent) == 0 || !recent.Stats.Enabled {
+		t.Fatalf("recent listing empty or tracing reported disabled: %+v", recent.Stats)
+	}
+}
+
+// TestTraceCoversDurableIngest runs a flushed ingest on a durable server
+// and requires the trace to record the full write path: admission, the
+// fold, the WAL append (fsync included), and the window encode.
+func TestTraceCoversDurableIngest(t *testing.T) {
+	m, ref := trainedModel(t)
+	s := New(Config{
+		Queue:   16,
+		DataDir: t.TempDir(),
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err := s.Register("email", m, ref); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	const id = "feedfacefeedface"
+	csv := "src,dst,t\nn0,n1,0\nn1,n2,0\nn2,n0,0\n"
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest?session=wal-trace", strings.NewReader(csv))
+	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set(obs.Header, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, data)
+	}
+
+	views := s.tracer.ByID(id)
+	if len(views) != 1 {
+		t.Fatalf("got %d traces, want 1", len(views))
+	}
+	checkSpanCoverage(t, views, "admit", "ingest.fold", "wal.append", "encode")
+}
+
+func countSpans(v obs.TraceView, name string) int {
+	n := 0
+	for _, sp := range v.Spans {
+		if sp.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// checkSpanCoverage asserts every named span appears somewhere in views.
+func checkSpanCoverage(t *testing.T, views []obs.TraceView, names ...string) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, v := range views {
+		for _, sp := range v.Spans {
+			seen[sp.Name] = true
+		}
+	}
+	for _, n := range names {
+		if !seen[n] {
+			t.Errorf("no %q span recorded (saw %v)", n, spanNames(views))
+		}
+	}
+}
+
+func spanNames(views []obs.TraceView) []string {
+	var out []string
+	for _, v := range views {
+		for _, sp := range v.Spans {
+			out = append(out, fmt.Sprintf("%s/%s", v.Node, sp.Name))
+		}
+	}
+	return out
+}
+
+// checkSpanTimes asserts spans sit inside the trace's wall time and the
+// trace's wall time inside the client-observed wall time.
+func checkSpanTimes(t *testing.T, v obs.TraceView, observed time.Duration) {
+	t.Helper()
+	if v.WallUS <= 0 || v.WallUS > observed.Microseconds() {
+		t.Errorf("trace wall %dus outside observed %dus", v.WallUS, observed.Microseconds())
+	}
+	var sum int64
+	for _, sp := range v.Spans {
+		if sp.StartUS < 0 || sp.DurUS < 0 || sp.StartUS+sp.DurUS > v.WallUS {
+			t.Errorf("span %s [%d,+%d]us escapes trace wall %dus", sp.Name, sp.StartUS, sp.DurUS, v.WallUS)
+		}
+		sum += sp.DurUS
+	}
+	// Request spans on one node do not overlap, so their durations cannot
+	// sum past the wall clock.
+	if sum > v.WallUS {
+		t.Errorf("span durations sum to %dus > wall %dus", sum, v.WallUS)
+	}
+}

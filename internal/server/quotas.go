@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"vrdag/internal/obs"
 )
 
 // Per-tenant token-bucket quotas on the admission queue. The tenant is
@@ -68,6 +70,7 @@ func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	}
 	tenant := tenantOf(r)
+	sp := obs.Start(r.Context(), "quota").SetStr("tenant", tenant)
 	s.quotaMu.Lock()
 	b, ok := s.quotas[tenant]
 	if !ok {
@@ -77,8 +80,10 @@ func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
 	s.quotaMu.Unlock()
 	ok, waitS := b.take(time.Now(), s.cfg.QuotaRate, float64(s.cfg.QuotaBurst))
 	if ok {
+		sp.SetStr("outcome", "ok").End()
 		return true
 	}
+	sp.SetStr("outcome", "throttled").End()
 	base := int(waitS) + 1
 	w.Header().Set("Retry-After", s.retryAfterJitter(base, base))
 	s.writeError(w, http.StatusTooManyRequests,

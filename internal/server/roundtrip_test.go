@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -28,7 +28,7 @@ func TestCheckpointRoundTripThroughServer(t *testing.T) {
 		t.Fatalf("loaded model has %d params, want %d", loaded.NumParams(), m.NumParams())
 	}
 
-	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	defer s.Close()
 	if err := s.Register("ckpt", loaded, nil); err != nil {
 		t.Fatalf("register: %v", err)

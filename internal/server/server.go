@@ -28,9 +28,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -42,6 +43,7 @@ import (
 	"vrdag/internal/durable"
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/metrics"
+	"vrdag/internal/obs"
 	"vrdag/internal/tensor"
 )
 
@@ -106,7 +108,15 @@ type Config struct {
 	// worker forever).
 	RequestTimeout time.Duration
 
-	Logger *log.Logger // request log destination (default stderr)
+	// Logger receives structured request logs (default: text handler on
+	// stderr). Every request-path line carries method, path, status,
+	// duration, and — when present — trace ID, tenant, session, and peer.
+	Logger *slog.Logger
+
+	// Tracer records request traces (see internal/obs). Nil selects a
+	// default always-on tracer wired to Logger; pass obs.Disabled() to
+	// serve with tracing off (a few atomic loads per request).
+	Tracer *obs.Tracer
 }
 
 // Server routes HTTP requests onto the worker pool. Create with New,
@@ -114,7 +124,8 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	pool   *Pool
-	logger *log.Logger
+	logger *slog.Logger
+	tracer *obs.Tracer
 	mux    *http.ServeMux
 
 	admitCh chan struct{} // admission slots; buffered to AdmitDepth
@@ -147,12 +158,14 @@ type Server struct {
 	quotaMu sync.Mutex
 	quotas  map[string]*tenantBucket
 
-	// healthHook/statsHook let an embedding layer (internal/cluster)
-	// decorate /healthz and /v1/metrics with cluster state without the
-	// import cycle a reverse dependency would create. Both hold nil or a
-	// func; set once at wiring time via SetHealthHook/SetStatsHook.
+	// healthHook/statsHook/promHook let an embedding layer
+	// (internal/cluster) decorate /healthz, /v1/metrics, and /metrics
+	// with cluster state without the import cycle a reverse dependency
+	// would create. Each holds nil or a func; set once at wiring time
+	// via SetHealthHook/SetStatsHook/SetPromHook.
 	healthHook atomic.Value // func(*HealthResponse)
 	statsHook  atomic.Value // func() any
+	promHook   atomic.Value // func(*obs.Expo)
 }
 
 type modelEntry struct {
@@ -213,12 +226,16 @@ func New(cfg Config) *Server {
 		}
 	}
 	if cfg.Logger == nil {
-		cfg.Logger = log.New(log.Writer(), "vrdag-serve ", log.LstdFlags)
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.New(obs.Config{Logger: cfg.Logger})
 	}
 	s := &Server{
 		cfg:      cfg,
 		pool:     NewPool(cfg.Workers, cfg.Queue),
 		logger:   cfg.Logger,
+		tracer:   cfg.Tracer,
 		admitCh:  make(chan struct{}, cfg.AdmitDepth),
 		drain:    make(chan struct{}),
 		started:  time.Now(),
@@ -239,6 +256,8 @@ func New(cfg Config) *Server {
 		"/v1/forecast/stream": s.handleForecastStream,
 		"/v1/metrics":         s.handleMetrics,
 		"/v1/models":          s.handleModels,
+		"/v1/trace":           s.handleTrace,
+		"/metrics":            s.handleProm,
 		"/healthz":            s.handleHealthz,
 	}
 	s.endpointStats = make(map[string]*endpointStats, len(routes)+1)
@@ -328,8 +347,32 @@ func (s *Server) SetHealthHook(f func(*HealthResponse)) { s.healthHook.Store(f) 
 // Cluster field of /v1/metrics server stats. Call once, at wiring time.
 func (s *Server) SetStatsHook(f func() any) { s.statsHook.Store(f) }
 
-// ServeHTTP implements http.Handler with request logging and per-endpoint
-// accounting.
+// SetPromHook installs a renderer appending extra families to the
+// Prometheus /metrics exposition (internal/cluster attaches its
+// replication/routing gauges through it). Call once, at wiring time.
+func (s *Server) SetPromHook(f func(*obs.Expo)) { s.promHook.Store(f) }
+
+// Tracer exposes the server's tracer so an embedding layer (the cluster
+// node, the bench harness) shares one trace ring with the local server.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// TraceableRequest reports whether a request should get a trace of its
+// own. Probe and scrape endpoints are excluded — a /healthz every few
+// hundred milliseconds per peer would wash every real request out of
+// the completed-trace ring.
+func TraceableRequest(r *http.Request) bool {
+	switch r.URL.Path {
+	case "/healthz", "/metrics", "/v1/trace":
+		return false
+	}
+	return true
+}
+
+// ServeHTTP implements http.Handler with request tracing, structured
+// logging, and per-endpoint accounting. If the embedding cluster node
+// already started a trace for this request, that trace is reused (and
+// its owner finishes it); otherwise the server roots one here, honoring
+// a client-supplied X-Vrdag-Trace ID, and returns the ID to the client.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if s.cfg.RequestTimeout > 0 {
@@ -337,11 +380,52 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
+	tr := obs.FromContext(r.Context())
+	owned := false
+	if tr == nil && TraceableRequest(r) {
+		var ctx context.Context
+		ctx, tr = s.tracer.StartTrace(r.Context(), r.Method+" "+r.URL.Path, r.Header.Get(obs.Header))
+		if tr != nil {
+			owned = true
+			r = r.WithContext(ctx)
+		}
+	}
+	if tr != nil {
+		w.Header().Set(obs.Header, tr.ID)
+	}
 	lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(lw, r)
 	elapsed := time.Since(start)
 	s.statsFor(r.URL.Path).observe(lw.status, elapsed)
-	s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, lw.status, elapsed.Round(time.Microsecond))
+	if owned {
+		tr.Finish(lw.status)
+	}
+	s.logRequest(r, tr, lw.status, elapsed)
+}
+
+// logRequest emits the structured per-request log line with the
+// correlation fields every request-path line carries.
+func (s *Server) logRequest(r *http.Request, tr *obs.Trace, status int, elapsed time.Duration) {
+	attrs := make([]slog.Attr, 0, 8)
+	attrs = append(attrs,
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("dur", elapsed.Round(time.Microsecond)),
+	)
+	if tr != nil {
+		attrs = append(attrs, slog.String("trace", tr.ID))
+	}
+	if tenant := r.Header.Get(HeaderTenant); tenant != "" {
+		attrs = append(attrs, slog.String("tenant", tenant))
+	}
+	if sess := r.URL.Query().Get("session"); sess != "" {
+		attrs = append(attrs, slog.String("session", sess))
+	}
+	if peer := r.Header.Get(HeaderForwarded); peer != "" {
+		attrs = append(attrs, slog.String("peer", peer))
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 }
 
 type loggingWriter struct {
@@ -405,7 +489,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
 		encodeBufs.Put(buf)
-		s.logger.Printf("ERROR encode response: %v", err)
+		s.logger.Error("encode response", "err", err)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		fmt.Fprintf(w, `{"error":"response encoding failed"}`+"\n")
@@ -415,7 +499,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	if _, err := buf.WriteTo(w); err != nil {
 		// The client hung up; a log line is the only trace left.
-		s.logger.Printf("ERROR write response: %v", err)
+		s.logger.Error("write response", "err", err)
 	}
 	if buf.Cap() <= maxPooledEncodeBuf {
 		encodeBufs.Put(buf)
@@ -433,16 +517,20 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 // returned release must be called once the request's generation work is
 // finished.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	sp := obs.Start(r.Context(), "admit")
 	if s.draining() {
 		s.writeError(w, http.StatusServiceUnavailable, "server draining")
+		sp.SetStr("outcome", "draining").End()
 		return nil, false
 	}
 	if !s.checkQuota(w, r) {
+		sp.SetStr("outcome", "quota").End()
 		return nil, false
 	}
 	release = func() { <-s.admitCh }
 	select {
 	case s.admitCh <- struct{}{}:
+		sp.SetStr("outcome", "ok").End()
 		return release, true
 	default:
 	}
@@ -450,16 +538,20 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	defer timer.Stop()
 	select {
 	case s.admitCh <- struct{}{}:
+		sp.SetStr("outcome", "ok").SetInt("waited", 1).End()
 		return release, true
 	case <-timer.C:
 		w.Header().Set("Retry-After", s.retryAfterJitter(1, 2))
 		s.writeError(w, http.StatusTooManyRequests,
 			"admission queue full: no slot freed within %s (depth %d)", s.cfg.AdmitWait, s.cfg.AdmitDepth)
+		sp.SetStr("outcome", "shed").End()
 		return nil, false
 	case <-r.Context().Done():
+		sp.SetStr("outcome", "canceled").End()
 		return nil, false
 	case <-s.drain:
 		s.writeError(w, http.StatusServiceUnavailable, "server draining")
+		sp.SetStr("outcome", "draining").End()
 		return nil, false
 	}
 }
@@ -477,7 +569,8 @@ func (s *Server) runPooled(w http.ResponseWriter, r *http.Request, f func()) boo
 		s.writeError(w, http.StatusServiceUnavailable, "server overloaded: %v", err)
 	case r.Context().Err() != nil: // client gone, nothing to write
 	default: // contained task panic
-		s.logger.Printf("ERROR %s %s: %v", r.Method, r.URL.Path, err)
+		s.logger.Error("handler", "method", r.Method, "path", r.URL.Path,
+			"trace", obs.TraceID(r.Context()), "err", err)
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 	return false
@@ -605,7 +698,8 @@ func (s *Server) handleGenerateStream(w http.ResponseWriter, r *http.Request) {
 	default:
 		// A panic after the stream began: the response may be half-written,
 		// so the log line and the dropped connection are the only signals.
-		s.logger.Printf("ERROR %s %s: %v", r.Method, r.URL.Path, err)
+		s.logger.Error("stream handler", "method", r.Method, "path", r.URL.Path,
+			"trace", obs.TraceID(r.Context()), "err", err)
 	}
 }
 
@@ -634,10 +728,25 @@ func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, entry *m
 func (s *Server) streamSnapshots(w http.ResponseWriter, r *http.Request, entry *modelEntry, header StreamHeader, run func(yield func(*dyngraph.Snapshot) error) error) {
 	start := time.Now()
 	flusher, _ := w.(http.Flusher)
+	// When the request is traced, flush syscall time is accumulated into
+	// one stream.flush span (per-line spans would swamp the trace).
+	tr := obs.FromContext(r.Context())
+	var flushTotal time.Duration
+	var firstFlush time.Time
 	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
+		if flusher == nil {
+			return
 		}
+		if tr == nil {
+			flusher.Flush()
+			return
+		}
+		t0 := time.Now()
+		flusher.Flush()
+		if firstFlush.IsZero() {
+			firstFlush = t0
+		}
+		flushTotal += time.Since(t0)
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -693,6 +802,9 @@ func (s *Server) streamSnapshots(w http.ResponseWriter, r *http.Request, entry *
 		return
 	}
 	flush()
+	if tr != nil && !firstFlush.IsZero() {
+		tr.Timed("stream.flush", firstFlush, flushTotal).SetInt("lines", int64(emitted)).End()
+	}
 }
 
 func (s *Server) handleGenerateBatch(w http.ResponseWriter, r *http.Request) {

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -54,7 +54,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	// Queue deep enough that the concurrency tests' burst of requests is
 	// absorbed instead of shed with 503 (backpressure itself is covered by
 	// the pool tests).
-	s := New(Config{Queue: 64, Logger: log.New(io.Discard, "", 0)})
+	s := New(Config{Queue: 64, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	if err := s.Register("email", m, ref); err != nil {
 		t.Fatalf("register: %v", err)
 	}
@@ -245,7 +245,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestMetricsDefaultHorizonClampedToMaxT(t *testing.T) {
 	m, ref := trainedModel(t)
-	s := New(Config{MaxT: 2, Logger: log.New(io.Discard, "", 0)})
+	s := New(Config{MaxT: 2, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	defer s.Close()
 	if err := s.Register("email", m, ref); err != nil {
 		t.Fatalf("register: %v", err)
@@ -270,7 +270,7 @@ func TestMetricsDefaultHorizonClampedToMaxT(t *testing.T) {
 
 func TestMetricsWithoutReference(t *testing.T) {
 	m, _ := trainedModel(t)
-	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	defer s.Close()
 	if err := s.Register("bare", m, nil); err != nil {
 		t.Fatalf("register: %v", err)
@@ -320,7 +320,7 @@ func TestModelsAndHealth(t *testing.T) {
 
 func TestRegisterValidation(t *testing.T) {
 	m, ref := trainedModel(t)
-	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	defer s.Close()
 	if err := s.Register("", m, nil); err == nil {
 		t.Error("empty name accepted")

@@ -15,6 +15,7 @@ import (
 	"vrdag/internal/durable"
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/ingest"
+	"vrdag/internal/obs"
 )
 
 // Forecast sessions: POST /v1/ingest folds an uploaded temporal edge
@@ -249,7 +250,7 @@ func (s *Server) handleIngestDelete(w http.ResponseWriter, r *http.Request) {
 		// under this name wipes the directory before writing its own
 		// state (ensureSessionDurableLocked).
 		if err := s.fsys.RemoveAll(fs.dir); err != nil {
-			s.logger.Printf("ERROR remove session dir %s: %v", fs.dir, err)
+			s.logger.Error("remove session dir", "dir", fs.dir, "err", err)
 		}
 	}
 	s.writeJSON(w, http.StatusOK, SessionDeleteResponse{Session: name, Deleted: true})
@@ -385,7 +386,7 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 			// WAL before any of it touches the in-memory state, so an
 			// acknowledged ingest survives a kill at any instant and
 			// replay reproduces exactly the folds that happened live.
-			if genErr = s.appendSessionWALLocked(fs, body.Bytes(), iq.flush); genErr != nil {
+			if genErr = s.appendSessionWALLocked(r.Context(), fs, body.Bytes(), iq.flush); genErr != nil {
 				persistErr = true
 				s.setDegraded(genErr)
 				return
@@ -401,26 +402,30 @@ func (s *Server) handleIngestPost(w http.ResponseWriter, r *http.Request) {
 					return err
 				}
 			}
+			sp := obs.Start(r.Context(), "encode")
 			err := fs.entry.model.EncodeSnapshot(fs.state, snap)
+			sp.SetInt("edges", int64(snap.NumEdges())).SetErr(err).End()
 			snap.Recycle()
 			if err == nil {
 				absorbed++
 			}
 			return err
 		}
-		if genErr = fs.stream.Fold(&body, emit); genErr != nil {
-			return
+		foldSp := obs.Start(r.Context(), "ingest.fold").SetInt("bytes", int64(body.Len()))
+		genErr = fs.stream.Fold(&body, emit)
+		if genErr == nil && iq.flush {
+			genErr = fs.stream.Flush(emit)
 		}
-		if iq.flush {
-			if genErr = fs.stream.Flush(emit); genErr != nil {
-				return
-			}
+		foldSp.SetInt("absorbed", int64(absorbed)).SetErr(genErr).End()
+		if genErr != nil {
+			return
 		}
 		if durableSess {
 			if err := s.maybeSnapshotLocked(fs); err != nil {
 				// The ingest itself is durable in the WAL; a failed
 				// compaction degrades the server but not this request.
-				s.logger.Printf("ERROR snapshot session %q: %v", fs.name, err)
+				s.logger.Error("snapshot session", "session", fs.name,
+					"trace", obs.TraceID(r.Context()), "err", err)
 				s.setDegraded(err)
 			}
 		}
@@ -661,6 +666,7 @@ func (s *Server) handleForecastStream(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "server overloaded: %v", err)
 	case r.Context().Err() != nil: // client gone before a worker picked it up
 	default:
-		s.logger.Printf("ERROR %s %s: %v", r.Method, r.URL.Path, err)
+		s.logger.Error("stream handler", "method", r.Method, "path", r.URL.Path,
+			"trace", obs.TraceID(r.Context()), "err", err)
 	}
 }

@@ -89,5 +89,6 @@ func (s *Server) serverStats() *ServerStats {
 	if f, ok := s.statsHook.Load().(func() any); ok && f != nil {
 		out.Cluster = f()
 	}
+	out.Trace = s.tracer.Stats()
 	return out
 }

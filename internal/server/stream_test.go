@@ -6,7 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -273,7 +273,7 @@ func TestBatchValidation(t *testing.T) {
 // tests live in the package) and checks the 429 + Retry-After contract.
 func TestAdmissionQueueOverflow(t *testing.T) {
 	m, ref := trainedModel(t)
-	s := New(Config{AdmitDepth: 1, AdmitWait: 20 * time.Millisecond, Logger: log.New(io.Discard, "", 0)})
+	s := New(Config{AdmitDepth: 1, AdmitWait: 20 * time.Millisecond, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	defer s.Close()
 	if err := s.Register("email", m, ref); err != nil {
 		t.Fatalf("register: %v", err)
@@ -303,7 +303,7 @@ func TestAdmissionQueueOverflow(t *testing.T) {
 // draining state.
 func TestDrainRejectsAndReportsHealth(t *testing.T) {
 	m, ref := trainedModel(t)
-	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	defer s.Close()
 	if err := s.Register("email", m, ref); err != nil {
 		t.Fatalf("register: %v", err)
@@ -334,7 +334,7 @@ func TestDrainRejectsAndReportsHealth(t *testing.T) {
 // in-band truncation trailer rather than a cut connection.
 func TestStreamDrainTruncates(t *testing.T) {
 	m, ref := trainedModel(t)
-	s := New(Config{Queue: 64, Logger: log.New(io.Discard, "", 0)})
+	s := New(Config{Queue: 64, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	defer s.Close()
 	if err := s.Register("email", m, ref); err != nil {
 		t.Fatalf("register: %v", err)

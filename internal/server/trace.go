@@ -1,0 +1,44 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// GET /v1/trace serves completed request traces out of the tracer's
+// bounded ring: ?id=<trace-id> looks one up (the ID every response
+// returns in X-Vrdag-Trace), otherwise the newest and slowest retained
+// traces are listed, ?n= bounding each list. Behind a cluster node the
+// ?id= form fans out to peers, so the hops of a proxied request come
+// back merged however the client was routed.
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	if id := q.Get("id"); id != "" {
+		trs := s.tracer.ByID(id)
+		if len(trs) == 0 {
+			s.writeError(w, http.StatusNotFound, "no retained trace %q", id)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, TraceQueryResponse{Stats: s.tracer.Stats(), Traces: trs})
+		return
+	}
+	n := 20
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > 1024 {
+			s.writeError(w, http.StatusBadRequest, "n must be in 1..1024, got %q", v)
+			return
+		}
+		n = parsed
+	}
+	s.writeJSON(w, http.StatusOK, TraceQueryResponse{
+		Stats:   s.tracer.Stats(),
+		Recent:  s.tracer.Recent(n),
+		Slowest: s.tracer.Slowest(n),
+	})
+}

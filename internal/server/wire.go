@@ -3,6 +3,7 @@ package server
 import (
 	"vrdag/internal/dyngraph"
 	"vrdag/internal/metrics"
+	"vrdag/internal/obs"
 	"vrdag/internal/tensor"
 )
 
@@ -204,6 +205,19 @@ type ServerStats struct {
 	// Cluster is present only when the server runs behind a cluster node
 	// (internal/cluster attaches its routing/replication counters here).
 	Cluster any `json:"cluster,omitempty"`
+	// Trace reports the request tracer's counters (see internal/obs).
+	Trace obs.TracerStats `json:"trace"`
+}
+
+// TraceQueryResponse is the body of GET /v1/trace. With ?id= the
+// matching traces are in Traces (one per node that served a piece of the
+// request, in a cluster); otherwise Recent holds the newest completed
+// traces and Slowest the worst ones still retained.
+type TraceQueryResponse struct {
+	Stats   obs.TracerStats `json:"stats"`
+	Traces  []obs.TraceView `json:"traces,omitempty"`
+	Recent  []obs.TraceView `json:"recent,omitempty"`
+	Slowest []obs.TraceView `json:"slowest,omitempty"`
 }
 
 // TenantStats is one tenant's quota accounting.

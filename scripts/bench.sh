@@ -22,7 +22,11 @@
 # the session-ingest workload through a single node and through an
 # SERVE_CLUSTER_NODES-node cluster (consistent-hash routing + R=2
 # replication), stamping the multi-node result with nodes and
-# speedup_vs_1_node so the routing layer's overhead is tracked too.
+# speedup_vs_1_node so the routing layer's overhead is tracked too. The
+# serve/{generate,ingest}/trace-overhead scenarios run the same workload
+# against a tracing-on and a tracing-off (obs.Disabled) server and stamp
+# p50_off_ms, p99_off_ms, and trace_overhead_pct — the p50 delta in
+# percent — pinning what always-on request tracing costs the hot path.
 #
 # Train mode drives `vrdag-bench -train`: the sequential TBPTT engine vs
 # the window-parallel engine at several worker counts, emitting {name,
